@@ -1,0 +1,80 @@
+// Command schemble-analyze summarizes a serving-session record log
+// (the JSONL format the simulator and cmd/schemble-replay emit): overall
+// accuracy/DMR/latency, per-segment breakdown, and the executed-subset
+// histogram.
+//
+//	schemble-replay -rate 40 -out run.jsonl
+//	schemble-analyze -in run.jsonl -segment 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"schemble/internal/ensemble"
+	"schemble/internal/metrics"
+)
+
+func main() {
+	in := flag.String("in", "", "record log to analyze (JSONL; - for stdin)")
+	segment := flag.Duration("segment", 0, "per-segment breakdown width (0 = off)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "analyze: -in is required")
+		os.Exit(2)
+	}
+	f := os.Stdin
+	if *in != "-" {
+		var err error
+		if f, err = os.Open(*in); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	recs, err := metrics.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "analyze: no records")
+		os.Exit(1)
+	}
+
+	s := metrics.Summarize(recs)
+	fmt.Printf("queries: %d  accuracy: %.1f%%  DMR: %.1f%%  processed: %.1f%%\n",
+		s.N, 100*s.Accuracy, 100*s.DMR, 100*s.Processed)
+	fmt.Printf("latency: mean %v  p95 %v  max %v  mean|s|: %.2f\n",
+		s.LatMean.Round(time.Millisecond), s.LatP95.Round(time.Millisecond),
+		s.LatMax.Round(time.Millisecond), s.MeanSubsetSize)
+
+	fmt.Println("\nexecuted subsets:")
+	hist := metrics.SubsetHistogram(recs)
+	subs := make([]ensemble.Subset, 0, len(hist))
+	for sub := range hist {
+		subs = append(subs, sub)
+	}
+	sort.Slice(subs, func(a, b int) bool { return hist[subs[a]] > hist[subs[b]] })
+	for _, sub := range subs {
+		fmt.Printf("  %-10s %6d (%.1f%%)\n", sub, hist[sub],
+			100*float64(hist[sub])/float64(s.N))
+	}
+
+	if *segment > 0 {
+		horizon := recs[len(recs)-1].Arrival
+		fmt.Printf("\nper-%v segments:\n", *segment)
+		fmt.Printf("%10s %8s %8s %8s %10s\n", "start", "queries", "acc(%)", "dmr(%)", "mean lat")
+		for i, seg := range metrics.Segment(recs, *segment, horizon) {
+			if seg.N == 0 {
+				continue
+			}
+			fmt.Printf("%10v %8d %8.1f %8.1f %10v\n",
+				time.Duration(i)*(*segment), seg.N,
+				100*seg.Accuracy, 100*seg.DMR, seg.LatMean.Round(time.Millisecond))
+		}
+	}
+}

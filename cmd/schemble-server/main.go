@@ -1,0 +1,79 @@
+// Command schemble-server exposes a fitted Schemble deployment over HTTP.
+// Model execution is simulated (optionally time-compressed), but requests
+// traverse the real concurrent scheduler, so clients observe genuine
+// queueing, subset selection and deadline behaviour.
+//
+//	schemble-server -addr :8080 -timescale 0.1 &
+//	curl -s localhost:8080/v1/predict -d '{"sample_id": 5, "deadline_ms": 150}'
+//	curl -s localhost:8080/v1/stats
+//
+// With -snapshot the fitted pipeline is cached on disk, so restarts skip
+// profiling and predictor training.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/httpserve"
+	"schemble/internal/model"
+	"schemble/internal/pipeline"
+	"schemble/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timescale := flag.Float64("timescale", 0.1, "wall-clock compression for simulated model latencies")
+	seed := flag.Uint64("seed", 7, "deployment seed")
+	snapshot := flag.String("snapshot", "", "path to cache the fitted pipeline (empty = refit on every start)")
+	flag.Parse()
+
+	cfg := pipeline.Config{
+		Dataset: dataset.TextMatching(dataset.Config{N: 4000, Seed: *seed}),
+		Models:  model.TextMatchingModels(*seed),
+		Seed:    *seed,
+	}
+	var arts *pipeline.Artifacts
+	if *snapshot != "" {
+		if a, err := pipeline.LoadFile(cfg, *snapshot); err == nil {
+			fmt.Fprintf(os.Stderr, "restored fitted pipeline from %s\n", *snapshot)
+			arts = a
+		}
+	}
+	if arts == nil {
+		fmt.Fprintln(os.Stderr, "fitting pipeline (profiling + predictor training)...")
+		arts = pipeline.Build(cfg)
+		if *snapshot != "" {
+			if err := arts.SaveFile(*snapshot); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: could not save snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "saved fitted pipeline to %s\n", *snapshot)
+			}
+		}
+	}
+
+	h := httpserve.New(httpserve.Config{
+		Server: serve.New(serve.Config{
+			Ensemble:  arts.Ensemble,
+			Scheduler: &core.DP{Delta: 0.01},
+			Rewarder:  arts.Profile,
+			Estimator: arts.Predictor,
+			TimeScale: *timescale,
+			Seed:      *seed,
+		}),
+		Estimator: arts.Predictor,
+		Pool:      arts.Serve,
+	})
+	defer h.Close()
+
+	fmt.Fprintf(os.Stderr, "serving %d-sample pool on %s (timescale %.2f)\n",
+		len(arts.Serve), *addr, *timescale)
+	if err := http.ListenAndServe(*addr, h); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command schemble regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	schemble list                 # list experiment ids
+//	schemble exp -id fig6         # run one experiment
+//	schemble exp -id all          # run everything (slow)
+//	schemble exp -id tab1 -quick  # reduced sizes for a fast look
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"schemble/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, s := range experiments.All {
+			fmt.Printf("%-10s %s\n", s.ID, s.Title)
+		}
+	case "exp":
+		fs := flag.NewFlagSet("exp", flag.ExitOnError)
+		id := fs.String("id", "", "experiment id (or 'all')")
+		seed := fs.Uint64("seed", 7, "environment seed")
+		quick := fs.Bool("quick", false, "reduced dataset/trace sizes")
+		format := fs.String("format", "text", "text | json | csv")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		if *id == "" {
+			fmt.Fprintln(os.Stderr, "exp: -id is required")
+			os.Exit(2)
+		}
+		emit := func(tab *experiments.Table) {
+			switch *format {
+			case "json":
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(tab); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			case "csv":
+				if err := tab.FprintCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			default:
+				tab.Fprint(os.Stdout)
+			}
+		}
+		env := experiments.NewEnv(*seed, *quick)
+		if *id == "all" {
+			for _, s := range experiments.All {
+				emit(s.Run(env))
+				fmt.Println()
+			}
+			return
+		}
+		tab, err := experiments.Run(env, *id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emit(tab)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  schemble list
+  schemble exp -id <experiment|all> [-seed N] [-quick]`)
+}

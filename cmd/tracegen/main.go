@@ -1,0 +1,59 @@
+// Command tracegen generates query arrival traces as CSV on stdout:
+// columns sample_idx, arrival_us, deadline_us.
+//
+// Usage:
+//
+//	tracegen -kind oneday -deadline 100ms > day.csv
+//	tracegen -kind poisson -rate 40 -n 5000 -deadline 150ms > burst.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "poisson", "poisson | oneday")
+	rate := flag.Float64("rate", 40, "poisson: arrivals per second")
+	n := flag.Int("n", 5000, "poisson: number of arrivals")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "constant relative deadline")
+	hourSeconds := flag.Float64("hourseconds", 8, "oneday: virtual seconds per hour")
+	pool := flag.Int("pool", 2000, "sample pool size")
+	seed := flag.Uint64("seed", 7, "seed")
+	flag.Parse()
+
+	samples := dataset.TextMatching(dataset.Config{N: *pool, Seed: *seed}).Samples
+	var tr *trace.Trace
+	switch *kind {
+	case "poisson":
+		tr = trace.Poisson(trace.PoissonConfig{
+			RatePerSec: *rate, N: *n, Samples: samples,
+			Deadline: trace.ConstantDeadline(*deadline), Seed: *seed,
+		})
+	case "oneday":
+		tr = trace.OneDay(trace.OneDayConfig{
+			Samples:     samples,
+			Deadline:    trace.ConstantDeadline(*deadline),
+			HourSeconds: *hourSeconds,
+			Seed:        *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "sample_idx,arrival_us,deadline_us")
+	for _, a := range tr.Arrivals {
+		fmt.Fprintf(w, "%d,%d,%d\n", a.SampleIdx,
+			a.At.Microseconds(), a.Deadline.Microseconds())
+	}
+	fmt.Fprintf(os.Stderr, "generated %d arrivals over %v\n", tr.N(), tr.Horizon)
+}

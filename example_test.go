@@ -1,0 +1,66 @@
+package schemble_test
+
+import (
+	"fmt"
+	"time"
+
+	"schemble"
+)
+
+// Example demonstrates the minimal workflow: fit a framework on a
+// generated workload, estimate a query's difficulty, and serve a burst.
+func Example() {
+	ds, models := schemble.TextMatchingBench(42)
+	ds.Samples = ds.Samples[:1200] // keep the example fast
+	fw := schemble.New(schemble.Config{
+		Dataset: ds, Models: models, PredictorEpochs: 20, Seed: 42,
+	})
+
+	q := fw.ServingPool()[0]
+	score := fw.Difficulty(q)
+	fmt.Printf("difficulty in [0,1]: %v\n", score >= 0 && score <= 1)
+
+	tr := fw.PoissonTrace(40, 400, 150*time.Millisecond, 1)
+	sch, _ := fw.Simulate(schemble.SimOptions{Trace: tr})
+	orig, _ := fw.SimulateOriginal(schemble.SimOptions{Trace: tr})
+	fmt.Printf("schemble beats original under load: %v\n",
+		sch.DMR < orig.DMR && sch.Accuracy > orig.Accuracy)
+	// Output:
+	// difficulty in [0,1]: true
+	// schemble beats original under load: true
+}
+
+// ExampleFramework_BestSubset shows subset selection from a difficulty
+// estimate: easy queries get away with fewer models.
+func ExampleFramework_BestSubset() {
+	ds, models := schemble.TextMatchingBench(42)
+	ds.Samples = ds.Samples[:1200]
+	fw := schemble.New(schemble.Config{
+		Dataset: ds, Models: models, PredictorEpochs: 20, Seed: 42,
+	})
+	easy := fw.BestSubset(0.05, 0.02) // cheapest within 2% of the best reward
+	exact := fw.BestSubset(0.05, 0)   // the exact best
+	fmt.Printf("tolerant subset no larger than exact: %v\n", easy.Size() <= exact.Size())
+	fmt.Printf("rewards within tolerance: %v\n",
+		fw.Reward(0.05, easy) >= 0.98*fw.Reward(0.05, exact))
+	// Output:
+	// tolerant subset no larger than exact: true
+	// rewards within tolerance: true
+}
+
+// ExampleFramework_Simulate shows reading per-query records out of a
+// simulation.
+func ExampleFramework_Simulate() {
+	ds, models := schemble.TextMatchingBench(42)
+	ds.Samples = ds.Samples[:1200]
+	fw := schemble.New(schemble.Config{
+		Dataset: ds, Models: models, PredictorEpochs: 20, Seed: 42,
+	})
+	tr := fw.PoissonTrace(10, 50, 300*time.Millisecond, 2)
+	summary, records := fw.Simulate(schemble.SimOptions{Trace: tr})
+	fmt.Printf("records match trace: %v\n", len(records) == 50)
+	fmt.Printf("summary counts all queries: %v\n", summary.N == 50)
+	// Output:
+	// records match trace: true
+	// summary counts all queries: true
+}

@@ -1,0 +1,3 @@
+module schemble
+
+go 1.22

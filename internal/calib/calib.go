@@ -1,0 +1,114 @@
+// Package calib implements temperature scaling (Guo et al., ICML 2017), the
+// post-hoc calibration step Schemble applies to base-model outputs before
+// computing discrepancy scores. Deep models are systematically
+// over-confident; dividing the logits by a temperature T > 1 fitted by
+// minimizing validation NLL aligns confidence with correctness likelihood,
+// which the paper requires so that divergences between heterogeneous models
+// are comparable.
+package calib
+
+import (
+	"math"
+
+	"schemble/internal/mathx"
+)
+
+// Scaler holds a fitted temperature.
+type Scaler struct {
+	T float64
+}
+
+// Identity returns a no-op scaler (T = 1).
+func Identity() *Scaler { return &Scaler{T: 1} }
+
+// Apply returns probs rescaled through temperature T: softmax(log(p)/T).
+// A fresh slice is returned; probs is unmodified.
+func (s *Scaler) Apply(probs []float64) []float64 {
+	if s.T == 1 {
+		cp := make([]float64, len(probs))
+		copy(cp, probs)
+		return cp
+	}
+	logits := make([]float64, len(probs))
+	for i, p := range probs {
+		logits[i] = math.Log(mathx.Clamp(p, mathx.Eps, 1)) / s.T
+	}
+	return mathx.Softmax(logits)
+}
+
+// NLL computes the mean negative log-likelihood of probability rows probs
+// against integer labels under temperature t.
+func NLL(probs [][]float64, labels []int, t float64) float64 {
+	var total float64
+	s := &Scaler{T: t}
+	for i, p := range probs {
+		q := s.Apply(p)
+		total += -math.Log(mathx.Clamp(q[labels[i]], mathx.Eps, 1))
+	}
+	return total / float64(len(probs))
+}
+
+// Fit finds the temperature in [0.05, 20] minimizing NLL on the validation
+// rows via golden-section search on log T. It panics when probs is empty or
+// sizes mismatch.
+func Fit(probs [][]float64, labels []int) *Scaler {
+	if len(probs) == 0 || len(probs) != len(labels) {
+		panic("calib: empty or mismatched calibration data")
+	}
+	// Golden-section search over log-temperature.
+	lo, hi := math.Log(0.05), math.Log(20.0)
+	const phi = 0.6180339887498949
+	f := func(logT float64) float64 { return NLL(probs, labels, math.Exp(logT)) }
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 60 && b-a > 1e-6; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return &Scaler{T: math.Exp(0.5 * (a + b))}
+}
+
+// ECE computes the expected calibration error of probs against labels using
+// equal-width confidence bins, the standard miscalibration diagnostic.
+func ECE(probs [][]float64, labels []int, bins int) float64 {
+	if bins <= 0 {
+		bins = 10
+	}
+	type bucket struct {
+		conf, acc float64
+		n         int
+	}
+	bs := make([]bucket, bins)
+	for i, p := range probs {
+		pred := mathx.ArgMax(p)
+		conf := p[pred]
+		b := int(conf * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		bs[b].conf += conf
+		if pred == labels[i] {
+			bs[b].acc++
+		}
+		bs[b].n++
+	}
+	var ece float64
+	total := float64(len(probs))
+	for _, b := range bs {
+		if b.n == 0 {
+			continue
+		}
+		n := float64(b.n)
+		ece += n / total * math.Abs(b.acc/n-b.conf/n)
+	}
+	return ece
+}

@@ -1,0 +1,146 @@
+// Package cluster provides k-means clustering with k-means++ seeding. The
+// DES baseline (dynamic ensemble selection) uses it to partition the input
+// space into competence regions, as the DES literature prescribes.
+package cluster
+
+import (
+	"math"
+
+	"schemble/internal/rng"
+)
+
+// KMeans holds fitted cluster centroids.
+type KMeans struct {
+	Centroids [][]float64
+}
+
+// Fit runs k-means with k-means++ initialization on points, for at most
+// maxIter Lloyd iterations (20 if maxIter <= 0). It panics when k <= 0 or
+// points is empty; when k >= len(points) every point becomes its own
+// centroid.
+func Fit(points [][]float64, k, maxIter int, src *rng.Source) *KMeans {
+	if k <= 0 {
+		panic("cluster: k must be positive")
+	}
+	if len(points) == 0 {
+		panic("cluster: no points")
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	if k >= len(points) {
+		km := &KMeans{}
+		for _, p := range points {
+			km.Centroids = append(km.Centroids, append([]float64(nil), p...))
+		}
+		return km
+	}
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, k, src)
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			c := nearest(centroids, p)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centroids {
+			counts[c] = 0
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centroids[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids[c], points[src.Intn(len(points))])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+	return &KMeans{Centroids: centroids}
+}
+
+// seedPlusPlus picks k initial centroids with D^2 weighting.
+func seedPlusPlus(points [][]float64, k int, src *rng.Source) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[src.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := sqDist(p, centroids[nearest(centroids, p)])
+			d2[i] = d
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = src.Intn(len(points))
+		} else {
+			r := src.Float64() * total
+			var cum float64
+			for i, d := range d2 {
+				cum += d
+				if cum >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func nearest(centroids [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := sqDist(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Assign returns the index of the centroid closest to p.
+func (km *KMeans) Assign(p []float64) int { return nearest(km.Centroids, p) }
+
+// K returns the number of clusters.
+func (km *KMeans) K() int { return len(km.Centroids) }
+
+// Inertia returns the total within-cluster squared distance of points.
+func (km *KMeans) Inertia(points [][]float64) float64 {
+	var s float64
+	for _, p := range points {
+		s += sqDist(p, km.Centroids[km.Assign(p)])
+	}
+	return s
+}

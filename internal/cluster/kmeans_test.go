@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+
+	"schemble/internal/rng"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(src *rng.Source, centers [][]float64, n int, spread float64) ([][]float64, []int) {
+	var points [][]float64
+	var labels []int
+	for c, center := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(center))
+			for d := range p {
+				p[d] = src.Normal(center[d], spread)
+			}
+			points = append(points, p)
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestSeparatesBlobs(t *testing.T) {
+	src := rng.New(1)
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	points, labels := blobs(src, centers, 100, 0.8)
+	km := Fit(points, 3, 50, src)
+
+	// Every ground-truth blob should map (almost) entirely to one cluster.
+	for c := 0; c < 3; c++ {
+		counts := map[int]int{}
+		total := 0
+		for i, p := range points {
+			if labels[i] != c {
+				continue
+			}
+			counts[km.Assign(p)]++
+			total++
+		}
+		best := 0
+		for _, v := range counts {
+			if v > best {
+				best = v
+			}
+		}
+		if purity := float64(best) / float64(total); purity < 0.98 {
+			t.Errorf("blob %d purity = %v, want >= 0.98", c, purity)
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	src := rng.New(2)
+	points, _ := blobs(src, [][]float64{{0, 0}, {5, 5}}, 100, 1.0)
+	i1 := Fit(points, 1, 30, rng.New(3)).Inertia(points)
+	i2 := Fit(points, 2, 30, rng.New(3)).Inertia(points)
+	i4 := Fit(points, 4, 30, rng.New(3)).Inertia(points)
+	if !(i1 > i2 && i2 >= i4) {
+		t.Errorf("inertia not decreasing: k1=%v k2=%v k4=%v", i1, i2, i4)
+	}
+}
+
+func TestKGreaterThanPoints(t *testing.T) {
+	points := [][]float64{{0}, {1}, {2}}
+	km := Fit(points, 10, 10, rng.New(4))
+	if km.K() != 3 {
+		t.Errorf("K = %d, want 3", km.K())
+	}
+	if km.Inertia(points) != 0 {
+		t.Errorf("inertia = %v, want 0", km.Inertia(points))
+	}
+}
+
+func TestAssignNearest(t *testing.T) {
+	km := &KMeans{Centroids: [][]float64{{0, 0}, {10, 10}}}
+	if c := km.Assign([]float64{1, 1}); c != 0 {
+		t.Errorf("Assign near origin = %d, want 0", c)
+	}
+	if c := km.Assign([]float64{9, 9}); c != 1 {
+		t.Errorf("Assign near (10,10) = %d, want 1", c)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := rng.New(5)
+	points, _ := blobs(src, [][]float64{{0, 0}, {6, 6}}, 50, 1.0)
+	a := Fit(points, 2, 30, rng.New(6))
+	b := Fit(points, 2, 30, rng.New(6))
+	for i := range a.Centroids {
+		for d := range a.Centroids[i] {
+			if a.Centroids[i][d] != b.Centroids[i][d] {
+				t.Fatal("k-means not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"k=0":       func() { Fit([][]float64{{1}}, 0, 10, rng.New(1)) },
+		"no points": func() { Fit(nil, 2, 10, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

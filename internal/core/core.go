@@ -1,0 +1,117 @@
+// Package core contains the paper's primary contribution: the query
+// difficulty-dependent task scheduler. Given the queries waiting in the
+// buffer — each with an arrival time, a deadline and a predicted
+// discrepancy score — and the current availability of every base model, a
+// scheduler picks a model subset for each query (possibly the empty set,
+// i.e. reject/skip) such that chosen subsets complete before their
+// deadlines and the total profiled reward is maximized.
+//
+// The flagship implementation is DP, the dynamic-programming algorithm of
+// Alg. 1: queries are ordered earliest-deadline-first (optimal once subsets
+// are fixed, Theorem 2), rewards are quantized in steps of delta, and each
+// DP cell keeps a Pareto frontier of model-availability vectors with
+// dominance pruning. Greedy+EDF/FIFO/SJF baselines and an exhaustive
+// optimal scheduler (for testing the (1-epsilon) bound of Theorem 3) live
+// alongside it.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+// QueryInfo is the scheduler's view of one buffered query.
+type QueryInfo struct {
+	// ID identifies the query to the runtime.
+	ID int
+	// Arrival is the absolute (virtual) arrival time.
+	Arrival time.Duration
+	// Deadline is the absolute time by which the query must complete.
+	Deadline time.Duration
+	// Score is the predicted discrepancy score in [0,1].
+	Score float64
+}
+
+// Rewarder maps a query's difficulty score and a candidate model subset to
+// the expected accuracy reward. profiling.Profile implements it.
+type Rewarder interface {
+	Reward(score float64, s ensemble.Subset) float64
+}
+
+// Plan is a scheduler's decision: the subset assigned to each query (absent
+// or Empty means skip) and the plan's total quantifiable reward. Queries
+// are to be executed in EDF order (consistent query order, Theorem 1).
+type Plan struct {
+	Assignments map[int]ensemble.Subset
+	TotalReward float64
+}
+
+// Subset returns the plan's assignment for query id (Empty when skipped).
+func (p Plan) Subset(id int) ensemble.Subset { return p.Assignments[id] }
+
+// Scheduler solves the local scheduling subproblem at one instant.
+type Scheduler interface {
+	Name() string
+	// Schedule plans subsets for queries. now is the current time; avail[k]
+	// is the absolute time model k finishes its in-flight work (values in
+	// the past mean "idle now"); exec[k] is the expected execution time of
+	// one task on model k.
+	Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan
+}
+
+// edfOrder returns the indices of queries sorted by deadline, then arrival,
+// then ID (stable total order).
+func edfOrder(queries []QueryInfo) []int {
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		qa, qb := queries[idx[a]], queries[idx[b]]
+		if qa.Deadline != qb.Deadline {
+			return qa.Deadline < qb.Deadline
+		}
+		if qa.Arrival != qb.Arrival {
+			return qa.Arrival < qb.Arrival
+		}
+		return qa.ID < qb.ID
+	})
+	return idx
+}
+
+// normalizeAvail clamps availability to now (a model free in the past is
+// free now) and returns a fresh slice.
+func normalizeAvail(now time.Duration, avail []time.Duration) []time.Duration {
+	out := make([]time.Duration, len(avail))
+	for k, a := range avail {
+		if a < now {
+			a = now
+		}
+		out[k] = a
+	}
+	return out
+}
+
+// completion computes when a query executing subset s would finish, given
+// the availability vector, and the resulting new availability. It returns
+// the completion time; newAvail is written in place into dst (which must
+// start as a copy of avail).
+func completion(avail []time.Duration, exec []time.Duration, s ensemble.Subset, dst []time.Duration) time.Duration {
+	var done time.Duration
+	for k := range avail {
+		dst[k] = avail[k]
+	}
+	for k := range avail {
+		if !s.Contains(k) {
+			continue
+		}
+		finish := avail[k] + exec[k]
+		dst[k] = finish
+		if finish > done {
+			done = finish
+		}
+	}
+	return done
+}

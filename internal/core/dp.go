@@ -1,0 +1,253 @@
+package core
+
+import (
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+// DP is the dynamic-programming scheduler of Alg. 1. Rewards are quantized
+// in multiples of Delta; one dimension of the table indexes queries in EDF
+// order, the other the quantized cumulative reward. Each cell holds the
+// Pareto frontier of model-availability vectors reaching that reward (an
+// entry is pruned when another entry in the same cell is no later on every
+// model). By Theorem 3 the plan's reward is within (1-epsilon) of the local
+// optimum for Delta = epsilon/N.
+type DP struct {
+	// Delta is the reward quantization step; the paper's sweet spot is
+	// 0.01 (Exp-4/Exp-8). Defaults to 0.01.
+	Delta float64
+	// MaxWindow caps how many EDF-first queries one invocation plans
+	// (bounding worst-case latency of the scheduler itself under bursts);
+	// 0 means 16. Queries beyond the window are left unassigned and picked
+	// up by the next invocation.
+	MaxWindow int
+	// DisablePrune turns dominance pruning off (the abl-prune ablation);
+	// frontiers are then truncated at UnprunedCap entries per level to
+	// keep the table finite.
+	DisablePrune bool
+	// MaxFrontier beam-limits each level's Pareto frontier: when more
+	// non-dominated entries than this survive, the worst (lowest exact
+	// reward, then latest finish) are evicted. Bounds worst-case planning
+	// cost with negligible quality loss; 0 means 12, negative disables.
+	MaxFrontier int
+	// Vanilla disables this implementation's exact-reward refinement
+	// inside quantized levels, recovering the paper's Alg. 1 precisely:
+	// within a level only availability vectors matter, so coarse Delta
+	// genuinely trades accuracy for speed (the Fig. 21 tradeoff). The
+	// default (false) keeps the refinement, which makes coarse Delta
+	// nearly lossless.
+	Vanilla bool
+}
+
+// UnprunedCap bounds per-level frontier size when pruning is disabled.
+const UnprunedCap = 64
+
+// Name implements Scheduler.
+func (d *DP) Name() string { return "dp" }
+
+// dpEntry is one Pareto-frontier member: an availability vector, the exact
+// (unquantized) cumulative reward, and the back-pointer chain that
+// reconstructs the plan.
+type dpEntry struct {
+	avail  []time.Duration
+	reward float64
+	parent *dpEntry
+	choice ensemble.Subset
+	qID    int
+}
+
+// dominates reports whether a is no later than b on every model.
+func dominates(a, b []time.Duration) bool {
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// insertPareto adds e to the frontier, dropping dominated entries. Within a
+// quantized reward level, entry f dominates e when f is no later on every
+// model AND has no less exact reward — keeping both "cheaper" and "more
+// accurate" ways to reach the level.
+func insertPareto(front []*dpEntry, e *dpEntry) []*dpEntry {
+	for _, f := range front {
+		if f.reward >= e.reward && dominates(f.avail, e.avail) {
+			return front // e is dominated; keep frontier as is
+		}
+	}
+	out := front[:0]
+	for _, f := range front {
+		if !(e.reward >= f.reward && dominates(e.avail, f.avail)) {
+			out = append(out, f)
+		}
+	}
+	return append(out, e)
+}
+
+// quantize maps a reward to its level, robust to the binary representation
+// of Delta (1.0/0.01 must be level 100, not 99).
+func quantize(reward, delta float64) int {
+	return int(reward/delta + 1e-9)
+}
+
+// Schedule implements Scheduler.
+func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan {
+	delta := d.Delta
+	if delta <= 0 {
+		delta = 0.01
+	}
+	window := d.MaxWindow
+	if window <= 0 {
+		window = 16
+	}
+	plan := Plan{Assignments: make(map[int]ensemble.Subset, len(queries))}
+	if len(queries) == 0 {
+		return plan
+	}
+	order := edfOrder(queries)
+	if len(order) > window {
+		order = order[:window]
+	}
+	base := normalizeAvail(now, avail)
+	m := len(avail)
+	subsets := ensemble.AllSubsets(m)
+
+	// frontier[level] holds the Pareto entries attaining quantized reward
+	// level after the queries processed so far. Levels index a dense
+	// slice (each query adds at most ceil(1/delta) levels), iterated in
+	// ascending order, so the DP is fully deterministic.
+	perQueryLevels := quantize(1, delta) + 1
+	frontier := make([][]*dpEntry, 1, 1+len(order)*perQueryLevels)
+	frontier[0] = []*dpEntry{{avail: base}}
+	scratch := make([]time.Duration, m)
+
+	maxFrontier := d.MaxFrontier
+	if maxFrontier == 0 {
+		maxFrontier = 12
+	}
+	// insert adds a candidate (avail in cand, exact reward rw) to the
+	// frontier, allocating the availability vector only when the
+	// candidate actually survives dominance checks and the beam limit.
+	insert := func(front []*dpEntry, cand []time.Duration, rw float64, parent *dpEntry, choice ensemble.Subset, qID int) []*dpEntry {
+		if d.DisablePrune {
+			if len(front) >= UnprunedCap {
+				return front
+			}
+			na := make([]time.Duration, len(cand))
+			copy(na, cand)
+			return append(front, &dpEntry{avail: na, reward: rw,
+				parent: parent, choice: choice, qID: qID})
+		}
+		for _, f := range front {
+			if (d.Vanilla || f.reward >= rw) && dominates(f.avail, cand) {
+				return front
+			}
+		}
+		out := front[:0]
+		for _, f := range front {
+			if !((d.Vanilla || rw >= f.reward) && dominates(cand, f.avail)) {
+				out = append(out, f)
+			}
+		}
+		na := make([]time.Duration, len(cand))
+		copy(na, cand)
+		out = append(out, &dpEntry{avail: na, reward: rw,
+			parent: parent, choice: choice, qID: qID})
+		if maxFrontier > 0 && len(out) > maxFrontier {
+			// Evict the worst entry under the betterEntry ordering.
+			worst := 0
+			for i := 1; i < len(out); i++ {
+				if betterEntry(out[worst], out[i]) {
+					worst = i
+				}
+			}
+			out[worst] = out[len(out)-1]
+			out = out[:len(out)-1]
+		}
+		return out
+	}
+	for _, qi := range order {
+		q := queries[qi]
+		next := make([][]*dpEntry, len(frontier)+perQueryLevels)
+		for level, entries := range frontier {
+			for _, e := range entries {
+				// Skip the query: same level, same availability.
+				next[level] = insert(next[level], e.avail, e.reward, e, ensemble.Empty, q.ID)
+				// Try every subset that meets the deadline.
+				for _, s := range subsets {
+					done := completion(e.avail, exec, s, scratch)
+					if done > q.Deadline {
+						continue
+					}
+					rw := r.Reward(q.Score, s)
+					lvl := level + quantize(rw, delta)
+					next[lvl] = insert(next[lvl], scratch, e.reward+rw, e, s, q.ID)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Visit the non-empty cell with the largest quantized reward; within
+	// it prefer the highest exact reward, then the plan finishing earliest
+	// overall (most room for future arrivals), then a lexicographic
+	// tie-break for determinism.
+	bestLevel := -1
+	for level := len(frontier) - 1; level >= 0; level-- {
+		if len(frontier[level]) > 0 {
+			bestLevel = level
+			break
+		}
+	}
+	if bestLevel < 0 {
+		return plan
+	}
+	entries := frontier[bestLevel]
+	best := entries[0]
+	for _, e := range entries[1:] {
+		if d.Vanilla {
+			if maxOf(e.avail) < maxOf(best.avail) {
+				best = e
+			}
+			continue
+		}
+		if betterEntry(e, best) {
+			best = e
+		}
+	}
+	for e := best; e != nil && e.parent != nil; e = e.parent {
+		plan.Assignments[e.qID] = e.choice
+	}
+	plan.TotalReward = best.reward
+	return plan
+}
+
+// betterEntry orders candidates within the winning level: exact reward
+// descending, overall finish ascending, then lexicographic availability.
+func betterEntry(a, b *dpEntry) bool {
+	if a.reward != b.reward {
+		return a.reward > b.reward
+	}
+	am, bm := maxOf(a.avail), maxOf(b.avail)
+	if am != bm {
+		return am < bm
+	}
+	for k := range a.avail {
+		if a.avail[k] != b.avail[k] {
+			return a.avail[k] < b.avail[k]
+		}
+	}
+	return false
+}
+
+func maxOf(xs []time.Duration) time.Duration {
+	mx := xs[0]
+	for _, x := range xs[1:] {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}

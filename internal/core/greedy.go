@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+// Order selects the query processing order of the Greedy scheduler.
+type Order int
+
+// Greedy processing orders (Exp-4's baselines).
+const (
+	// EDF processes the earliest deadline first.
+	EDF Order = iota
+	// FIFO processes the earliest arrival first.
+	FIFO
+	// SJF processes the smallest estimated discrepancy score first
+	// ("shortest job": easy queries need the least work).
+	SJF
+)
+
+func (o Order) String() string {
+	switch o {
+	case EDF:
+		return "edf"
+	case FIFO:
+		return "fifo"
+	case SJF:
+		return "sjf"
+	default:
+		return "order?"
+	}
+}
+
+// Greedy schedules queries in a fixed order, assigning each the
+// highest-reward subset that still meets its deadline given the commitments
+// already made — ignoring the queries behind it, which is exactly the
+// myopia the DP algorithm fixes.
+type Greedy struct {
+	Order Order
+}
+
+// Name implements Scheduler.
+func (g *Greedy) Name() string { return "greedy+" + g.Order.String() }
+
+// Schedule implements Scheduler.
+func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan {
+	plan := Plan{Assignments: make(map[int]ensemble.Subset, len(queries))}
+	if len(queries) == 0 {
+		return plan
+	}
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		qa, qb := queries[idx[a]], queries[idx[b]]
+		switch g.Order {
+		case FIFO:
+			if qa.Arrival != qb.Arrival {
+				return qa.Arrival < qb.Arrival
+			}
+		case SJF:
+			if qa.Score != qb.Score {
+				return qa.Score < qb.Score
+			}
+		default: // EDF
+			if qa.Deadline != qb.Deadline {
+				return qa.Deadline < qb.Deadline
+			}
+		}
+		return qa.ID < qb.ID
+	})
+
+	cur := normalizeAvail(now, avail)
+	scratch := make([]time.Duration, len(avail))
+	subsets := ensemble.AllSubsets(len(avail))
+	for _, qi := range idx {
+		q := queries[qi]
+		best := ensemble.Empty
+		bestR := 0.0
+		var bestAvail []time.Duration
+		for _, s := range subsets {
+			done := completion(cur, exec, s, scratch)
+			if done > q.Deadline {
+				continue
+			}
+			rw := r.Reward(q.Score, s)
+			if rw > bestR || (rw == bestR && best != ensemble.Empty && s.Size() < best.Size()) {
+				best, bestR = s, rw
+				bestAvail = append(bestAvail[:0], scratch...)
+			}
+		}
+		plan.Assignments[q.ID] = best
+		if best != ensemble.Empty {
+			copy(cur, bestAvail)
+			plan.TotalReward += bestR
+		}
+	}
+	return plan
+}
+
+// Exhaustive finds the true optimal plan by trying every subset assignment
+// over every query permutation-free EDF order (Theorem 1 licenses fixing
+// the order). It is exponential in the number of queries and exists only to
+// verify the DP's (1-epsilon) bound on small instances; MaxQueries guards
+// against accidental blowups.
+type Exhaustive struct {
+	MaxQueries int // default 8
+}
+
+// Name implements Scheduler.
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Schedule implements Scheduler.
+func (e *Exhaustive) Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan {
+	limit := e.MaxQueries
+	if limit <= 0 {
+		limit = 8
+	}
+	if len(queries) > limit {
+		panic("core: Exhaustive over too many queries")
+	}
+	order := edfOrder(queries)
+	base := normalizeAvail(now, avail)
+	m := len(avail)
+	options := append([]ensemble.Subset{ensemble.Empty}, ensemble.AllSubsets(m)...)
+
+	best := Plan{Assignments: map[int]ensemble.Subset{}}
+	bestReward := -1.0
+	assign := make([]ensemble.Subset, len(order))
+	scratch := make([]time.Duration, m)
+
+	var recurse func(i int, cur []time.Duration, reward float64)
+	recurse = func(i int, cur []time.Duration, reward float64) {
+		if i == len(order) {
+			if reward > bestReward {
+				bestReward = reward
+				best.Assignments = make(map[int]ensemble.Subset, len(order))
+				for j, qi := range order {
+					best.Assignments[queries[qi].ID] = assign[j]
+				}
+				best.TotalReward = reward
+			}
+			return
+		}
+		q := queries[order[i]]
+		for _, s := range options {
+			if s == ensemble.Empty {
+				assign[i] = s
+				recurse(i+1, cur, reward)
+				continue
+			}
+			done := completion(cur, exec, s, scratch)
+			if done > q.Deadline {
+				continue
+			}
+			na := make([]time.Duration, m)
+			copy(na, scratch)
+			assign[i] = s
+			recurse(i+1, na, reward+r.Reward(q.Score, s))
+		}
+	}
+	recurse(0, base, 0)
+	return best
+}

@@ -1,0 +1,283 @@
+// Package dataset generates the three synthetic workloads used throughout
+// the repository: text matching (binary classification, the bank Q&A
+// stand-in), vehicle counting (regression over video frames), and image
+// retrieval (embedding ranking against a gallery).
+//
+// Every sample carries a latent difficulty h in [0,1]. Difficulty is the
+// hidden variable the whole paper revolves around: base-model correctness,
+// inter-model disagreement and (noisily) the observable features all depend
+// on it, so a trained predictor can estimate it while the serving system
+// never observes it directly. The default difficulty distribution is a
+// two-component Beta mixture placing most mass near zero, matching the
+// empirical distribution in Fig. 4a; Exp-3's Normal/Gamma shifts are
+// expressible through DifficultySpec.
+package dataset
+
+import (
+	"fmt"
+
+	"schemble/internal/mathx"
+	"schemble/internal/rng"
+)
+
+// Task identifies the prediction task of a workload.
+type Task int
+
+// Supported tasks.
+const (
+	Classification Task = iota
+	Regression
+	Retrieval
+)
+
+func (t Task) String() string {
+	switch t {
+	case Classification:
+		return "classification"
+	case Regression:
+		return "regression"
+	case Retrieval:
+		return "retrieval"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// DifficultyKind selects the sampling distribution for latent difficulty.
+type DifficultyKind int
+
+// Difficulty distributions. MixtureBeta is the realistic default; the
+// others reproduce the distribution-shift study (Exp-3).
+const (
+	MixtureBeta DifficultyKind = iota
+	NormalDist
+	GammaDist
+	UniformDist
+	ConstantDist
+)
+
+// DifficultySpec parameterizes difficulty sampling. Mean is used by
+// NormalDist (with the paper's stddev 0.03), GammaDist (shape = Mean with
+// the paper's scale 1, then rescaled into [0,1]) and ConstantDist.
+type DifficultySpec struct {
+	Kind   DifficultyKind
+	Mean   float64
+	StdDev float64 // NormalDist only; defaults to 0.03 (paper setting)
+}
+
+// Sample samples one difficulty value in [0,1].
+func (d DifficultySpec) Sample(src *rng.Source) float64 {
+	switch d.Kind {
+	case MixtureBeta:
+		// 72% easy mass near zero + 28% moderately hard: Fig. 4a shape.
+		if src.Bool(0.72) {
+			return src.Beta(1.2, 6.5)
+		}
+		return src.Beta(3.5, 2.2)
+	case NormalDist:
+		sd := d.StdDev
+		if sd == 0 {
+			sd = 0.03
+		}
+		return mathx.Clamp(src.Normal(d.Mean, sd), 0, 1)
+	case GammaDist:
+		shape := d.Mean
+		if shape <= 0 {
+			shape = 0.2
+		}
+		// Gamma(shape, scale=1) has mean = shape; the paper samples scores
+		// directly so we rescale the (unbounded) draw into [0,1] with a
+		// soft ceiling at 3x the mean.
+		v := src.Gamma(shape*10, 0.1)
+		return mathx.Clamp(v, 0, 1)
+	case UniformDist:
+		return src.Float64()
+	case ConstantDist:
+		return mathx.Clamp(d.Mean, 0, 1)
+	default:
+		panic("dataset: unknown difficulty kind")
+	}
+}
+
+// FeatureDim is the dimensionality of observable sample features across all
+// workloads. The first two coordinates are noisy transforms of the latent
+// difficulty (so difficulty is learnable but not perfectly recoverable);
+// the next two are task-informative; the rest is nuisance noise.
+const FeatureDim = 12
+
+// Sample is one query-able input item.
+type Sample struct {
+	ID         int
+	Features   []float64
+	Difficulty float64 // latent; generation/oracle use only
+
+	Label int     // Classification: class in [0, Classes)
+	Value float64 // Regression: ground-truth value
+
+	Embedding []float64 // Retrieval: true query embedding (unit norm)
+	CameraID  int       // VehicleCounting: source camera (deadline class)
+}
+
+// Dataset is a generated workload.
+type Dataset struct {
+	Name    string
+	Task    Task
+	Classes int // Classification only
+	Samples []*Sample
+
+	// Retrieval only.
+	Gallery [][]float64
+	EmbDim  int
+
+	// Regression tolerance: a prediction within Tol of the reference value
+	// counts as agreeing (the paper's "Acc" for vehicle counting).
+	Tol float64
+
+	// Cameras is the number of distinct vehicle-counting cameras.
+	Cameras int
+}
+
+// Config controls generation.
+type Config struct {
+	N          int
+	Seed       uint64
+	Difficulty DifficultySpec
+}
+
+func (c *Config) fill(defaultN int) {
+	if c.N <= 0 {
+		c.N = defaultN
+	}
+}
+
+// sampleFeatures builds the observable feature vector for difficulty h:
+// noisy monotone transforms of h, task-informative coordinates, and noise.
+func sampleFeatures(src *rng.Source, h float64, taskSignal float64) []float64 {
+	f := make([]float64, FeatureDim)
+	f[0] = h + src.Normal(0, 0.09)
+	f[1] = h*h + src.Normal(0, 0.10)
+	f[2] = taskSignal + src.Normal(0, 0.25)
+	f[3] = taskSignal*h + src.Normal(0, 0.25)
+	for i := 4; i < FeatureDim; i++ {
+		f[i] = src.Normal(0, 1)
+	}
+	return f
+}
+
+// TextMatching generates the binary text-matching workload (the bank Q&A
+// stand-in): label 1 means the two questions map to the same answer.
+func TextMatching(cfg Config) *Dataset {
+	cfg.fill(4000)
+	src := rng.New(cfg.Seed ^ 0x7e47)
+	ds := &Dataset{Name: "textmatching", Task: Classification, Classes: 2}
+	for i := 0; i < cfg.N; i++ {
+		h := cfg.Difficulty.Sample(src)
+		signal := src.Normal(0, 1)
+		label := 0
+		if signal > 0 {
+			label = 1
+		}
+		ds.Samples = append(ds.Samples, &Sample{
+			ID:         i,
+			Features:   sampleFeatures(src, h, signal),
+			Difficulty: h,
+			Label:      label,
+		})
+	}
+	return ds
+}
+
+// VehicleCounting generates the regression workload: per-frame vehicle
+// counts from 24 cameras. Harder frames (occlusion, clutter) carry larger
+// counts and larger difficulty.
+func VehicleCounting(cfg Config) *Dataset {
+	cfg.fill(4000)
+	src := rng.New(cfg.Seed ^ 0xbeef)
+	const cameras = 24
+	ds := &Dataset{Name: "vehiclecounting", Task: Regression, Tol: 1.0, Cameras: cameras}
+	for i := 0; i < cfg.N; i++ {
+		h := cfg.Difficulty.Sample(src)
+		count := float64(src.Poisson(3 + 18*h))
+		ds.Samples = append(ds.Samples, &Sample{
+			ID:         i,
+			Features:   sampleFeatures(src, h, count/20),
+			Difficulty: h,
+			Value:      count,
+			CameraID:   src.Intn(cameras),
+		})
+	}
+	return ds
+}
+
+// RetrievalConfig extends Config for the image-retrieval workload.
+type RetrievalConfig struct {
+	Config
+	GallerySize int
+	EmbDim      int
+}
+
+// ImageRetrieval generates the embedding-ranking workload: each query has a
+// true embedding; models observe it through task- and difficulty-dependent
+// noise and rank a shared gallery by cosine similarity.
+func ImageRetrieval(cfg RetrievalConfig) *Dataset {
+	cfg.fill(2000)
+	if cfg.GallerySize <= 0 {
+		cfg.GallerySize = 1500
+	}
+	if cfg.EmbDim <= 0 {
+		cfg.EmbDim = 16
+	}
+	src := rng.New(cfg.Seed ^ 0x1a6e)
+	ds := &Dataset{
+		Name: "imageretrieval", Task: Retrieval,
+		EmbDim: cfg.EmbDim,
+	}
+	unit := func() []float64 {
+		v := make([]float64, cfg.EmbDim)
+		for d := range v {
+			v[d] = src.Normal(0, 1)
+		}
+		n := mathx.Norm2(v)
+		for d := range v {
+			v[d] /= n
+		}
+		return v
+	}
+	for g := 0; g < cfg.GallerySize; g++ {
+		ds.Gallery = append(ds.Gallery, unit())
+	}
+	for i := 0; i < cfg.N; i++ {
+		h := cfg.Difficulty.Sample(src)
+		emb := unit()
+		ds.Samples = append(ds.Samples, &Sample{
+			ID:         i,
+			Features:   sampleFeatures(src, h, emb[0]),
+			Difficulty: h,
+			Embedding:  emb,
+		})
+	}
+	return ds
+}
+
+// Split partitions the dataset's samples into train/validation/test slices
+// by the given fractions (which must sum to <= 1; the test split receives
+// the remainder). The split is deterministic in seed and does not copy
+// samples.
+func (ds *Dataset) Split(trainFrac, valFrac float64, seed uint64) (train, val, test []*Sample) {
+	src := rng.New(seed ^ 0xfade)
+	perm := src.Perm(len(ds.Samples))
+	nTrain := int(trainFrac * float64(len(perm)))
+	nVal := int(valFrac * float64(len(perm)))
+	for i, p := range perm {
+		s := ds.Samples[p]
+		switch {
+		case i < nTrain:
+			train = append(train, s)
+		case i < nTrain+nVal:
+			val = append(val, s)
+		default:
+			test = append(test, s)
+		}
+	}
+	return train, val, test
+}

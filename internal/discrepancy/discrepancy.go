@@ -1,0 +1,199 @@
+// Package discrepancy implements Section V of the paper: the discrepancy
+// score — a difficulty measure for heterogeneous deep ensembles — and the
+// lightweight two-headed network that predicts it for unseen queries.
+//
+// The score of a sample (Eq. 1) is the mean, over base models, of the
+// *normalized* distance between each base model's (temperature-calibrated)
+// output and the full ensemble's output: JS divergence for classification,
+// Euclidean distance for regression and retrieval. Normalization is the
+// per-model empirical CDF of distances observed on historical data, which
+// puts every model's distances on the same [0,1] scale and thereby damps
+// the influence of weak models — the paper's fix for what plain ensemble
+// agreement gets wrong.
+package discrepancy
+
+import (
+	"sort"
+
+	"schemble/internal/calib"
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/model"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample of
+// values; Value maps a new observation to its rank fraction in [0,1].
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from values (which it copies and sorts). It panics
+// on an empty sample.
+func NewECDF(values []float64) *ECDF {
+	if len(values) == 0 {
+		panic("discrepancy: empty ECDF sample")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Value returns the fraction of the sample that is <= x.
+func (e *ECDF) Value(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, x)
+	// Advance past equal values so ties count as <=.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Distance returns the task-appropriate distance between a base model's
+// output and the ensemble's output: JS divergence for classification,
+// Euclidean (absolute) distance for regression, Euclidean distance between
+// embeddings for retrieval.
+func Distance(task dataset.Task, base, ens model.Output) float64 {
+	switch task {
+	case dataset.Classification:
+		return mathx.JS(base.Probs, ens.Probs)
+	case dataset.Regression:
+		d := base.Value - ens.Value
+		if d < 0 {
+			d = -d
+		}
+		return d
+	case dataset.Retrieval:
+		return mathx.Euclidean(base.Embedding, ens.Embedding)
+	default:
+		panic("discrepancy: unknown task")
+	}
+}
+
+// Scorer computes discrepancy scores for full inference results. Build one
+// with Fit.
+type Scorer struct {
+	Task dataset.Task
+	// Calibrators holds one temperature scaler per base model
+	// (classification only; nil entries mean identity).
+	Calibrators []*calib.Scaler
+	// Norms holds one distance ECDF per base model.
+	Norms []*ECDF
+}
+
+// calibrated returns the k-th output with temperature scaling applied.
+func (sc *Scorer) calibrated(k int, out model.Output) model.Output {
+	if sc.Task != dataset.Classification || sc.Calibrators == nil || sc.Calibrators[k] == nil {
+		return out
+	}
+	return model.Output{Probs: sc.Calibrators[k].Apply(out.Probs)}
+}
+
+// rawDistances returns the per-model distances d(f_k(x), E(x)) after
+// calibration.
+func (sc *Scorer) rawDistances(outs []model.Output, ens model.Output) []float64 {
+	ds := make([]float64, len(outs))
+	for k := range outs {
+		ds[k] = Distance(sc.Task, sc.calibrated(k, outs[k]), ens)
+	}
+	return ds
+}
+
+// Score computes the discrepancy score (Eq. 1) for one sample's full
+// outputs and ensemble output.
+func (sc *Scorer) Score(outs []model.Output, ens model.Output) float64 {
+	ds := sc.rawDistances(outs, ens)
+	var s float64
+	for k, d := range ds {
+		s += sc.Norms[k].Value(d)
+	}
+	return s / float64(len(ds))
+}
+
+// FitConfig controls Fit.
+type FitConfig struct {
+	Task dataset.Task
+	// Calibrate fits per-model temperature scalers before computing
+	// distances (classification only). The paper applies temperature
+	// scaling; abl-calib turns it off.
+	Calibrate bool
+}
+
+// Fit builds a Scorer from historical full inference results: allOuts[i]
+// holds every base model's output on sample i, ensOuts[i] the full
+// ensemble's. For calibration, the ensemble's argmax serves as the label —
+// the paper's ground-truth convention.
+func Fit(cfg FitConfig, allOuts [][]model.Output, ensOuts []model.Output) *Scorer {
+	if len(allOuts) == 0 || len(allOuts) != len(ensOuts) {
+		panic("discrepancy: empty or mismatched fit data")
+	}
+	m := len(allOuts[0])
+	sc := &Scorer{Task: cfg.Task}
+	if cfg.Calibrate && cfg.Task == dataset.Classification {
+		sc.Calibrators = make([]*calib.Scaler, m)
+		labels := make([]int, len(ensOuts))
+		for i, e := range ensOuts {
+			labels[i] = mathx.ArgMax(e.Probs)
+		}
+		probs := make([][]float64, len(allOuts))
+		for k := 0; k < m; k++ {
+			for i := range allOuts {
+				probs[i] = allOuts[i][k].Probs
+			}
+			sc.Calibrators[k] = calib.Fit(probs, labels)
+		}
+	}
+	// Per-model distance ECDFs, computed through the same distance path
+	// Score uses (including the calibrated reference).
+	perModel := make([][]float64, m)
+	for k := range perModel {
+		perModel[k] = make([]float64, len(allOuts))
+	}
+	for i := range allOuts {
+		ds := sc.rawDistances(allOuts[i], ensOuts[i])
+		for k, d := range ds {
+			perModel[k][i] = d
+		}
+	}
+	sc.Norms = make([]*ECDF, m)
+	for k := 0; k < m; k++ {
+		sc.Norms[k] = NewECDF(perModel[k])
+	}
+	return sc
+}
+
+// EnsembleAgreement is the prior difficulty metric the paper compares
+// against (Carlini et al.): the mean pairwise symmetric KL divergence
+// between base-model outputs, with no calibration and no per-model
+// normalization. For regression it is the mean pairwise absolute
+// difference, for retrieval the mean pairwise embedding distance.
+func EnsembleAgreement(task dataset.Task, outs []model.Output) float64 {
+	m := len(outs)
+	if m < 2 {
+		return 0
+	}
+	var s float64
+	var n int
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			switch task {
+			case dataset.Classification:
+				s += mathx.SymKL(outs[i].Probs, outs[j].Probs)
+			case dataset.Regression:
+				d := outs[i].Value - outs[j].Value
+				if d < 0 {
+					d = -d
+				}
+				s += d
+			case dataset.Retrieval:
+				s += mathx.Euclidean(outs[i].Embedding, outs[j].Embedding)
+			}
+			n++
+		}
+	}
+	return s / float64(n)
+}
+
+// Sample returns a copy of the ECDF's sorted sample (for serialization).
+func (e *ECDF) Sample() []float64 {
+	return append([]float64(nil), e.sorted...)
+}

@@ -1,0 +1,137 @@
+package ensemble
+
+import (
+	"sort"
+
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/model"
+)
+
+// Median aggregates regression outputs by their (weighted) median — more
+// robust to a single wildly-wrong detector than averaging, which matters
+// for count regression where occlusion can make one model double-count.
+// Missing models simply drop out of the median.
+type Median struct {
+	Weights []float64
+}
+
+// Name implements Aggregator.
+func (md *Median) Name() string { return "median" }
+
+func (md *Median) weightOf(k int) float64 {
+	if md.Weights == nil {
+		return 1
+	}
+	return md.Weights[k]
+}
+
+// Aggregate implements Aggregator.
+func (md *Median) Aggregate(task dataset.Task, outs []model.Output, present Subset) model.Output {
+	if task != dataset.Regression {
+		panic("ensemble: Median supports regression only")
+	}
+	type wv struct{ v, w float64 }
+	var vals []wv
+	var totalW float64
+	for k := range outs {
+		if !present.Contains(k) {
+			continue
+		}
+		w := md.weightOf(k)
+		vals = append(vals, wv{outs[k].Value, w})
+		totalW += w
+	}
+	if len(vals) == 0 {
+		panic("ensemble: median over empty subset")
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+	// Weighted median: smallest value whose cumulative weight reaches
+	// half the total.
+	var cum float64
+	for _, x := range vals {
+		cum += x.w
+		if cum >= totalW/2 {
+			return model.Output{Value: x.v}
+		}
+	}
+	return model.Output{Value: vals[len(vals)-1].v}
+}
+
+// RankFusion aggregates retrieval outputs by reciprocal-rank fusion over a
+// shared gallery instead of averaging embeddings: each present model ranks
+// the gallery, items earn 1/(K + rank) from every model, and the fused
+// "embedding" is the weighted centroid of the top-fused gallery items.
+// RRF is the standard late-fusion alternative the retrieval literature
+// recommends when embedding spaces are not perfectly aligned.
+type RankFusion struct {
+	// Gallery is the corpus all models rank.
+	Gallery [][]float64
+	// K is the RRF smoothing constant (default 60, the literature's
+	// standard value).
+	K int
+	// TopM is how many fused items form the output centroid (default 10).
+	TopM int
+}
+
+// Name implements Aggregator.
+func (rf *RankFusion) Name() string { return "rankfusion" }
+
+// Aggregate implements Aggregator.
+func (rf *RankFusion) Aggregate(task dataset.Task, outs []model.Output, present Subset) model.Output {
+	if task != dataset.Retrieval {
+		panic("ensemble: RankFusion supports retrieval only")
+	}
+	if len(rf.Gallery) == 0 {
+		panic("ensemble: RankFusion requires a gallery")
+	}
+	k := rf.K
+	if k <= 0 {
+		k = 60
+	}
+	topM := rf.TopM
+	if topM <= 0 {
+		topM = 10
+	}
+	if topM > len(rf.Gallery) {
+		topM = len(rf.Gallery)
+	}
+	scores := make([]float64, len(rf.Gallery))
+	idx := make([]int, len(rf.Gallery))
+	sims := make([]float64, len(rf.Gallery))
+	for mi := range outs {
+		if !present.Contains(mi) {
+			continue
+		}
+		emb := outs[mi].Embedding
+		for g := range rf.Gallery {
+			idx[g] = g
+			sims[g] = mathx.CosineSim(emb, rf.Gallery[g])
+		}
+		sort.Slice(idx, func(a, b int) bool { return sims[idx[a]] > sims[idx[b]] })
+		for rank, g := range idx {
+			scores[g] += 1 / float64(k+rank+1)
+		}
+	}
+	// Fused output: score-weighted centroid of the top fused items,
+	// renormalized — comparable to an embedding for downstream AP.
+	order := make([]int, len(rf.Gallery))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	dim := len(rf.Gallery[0])
+	emb := make([]float64, dim)
+	for _, g := range order[:topM] {
+		w := scores[g]
+		for d := 0; d < dim; d++ {
+			emb[d] += w * rf.Gallery[g][d]
+		}
+	}
+	if n := mathx.Norm2(emb); n > 0 {
+		for d := range emb {
+			emb[d] /= n
+		}
+	}
+	return model.Output{Embedding: emb}
+}

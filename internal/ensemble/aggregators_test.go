@@ -1,0 +1,131 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/model"
+)
+
+func TestMedianBasic(t *testing.T) {
+	md := &Median{}
+	outs := []model.Output{{Value: 1}, {Value: 100}, {Value: 3}}
+	got := md.Aggregate(dataset.Regression, outs, Full(3)).Value
+	if got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	// An outlier moves the mean but not the median.
+	avg := (&Average{}).Aggregate(dataset.Regression, outs, Full(3)).Value
+	if avg <= got {
+		t.Errorf("outlier should inflate the mean (%v) above the median (%v)", avg, got)
+	}
+}
+
+func TestMedianSubsetAndWeights(t *testing.T) {
+	md := &Median{Weights: []float64{1, 1, 10}}
+	outs := []model.Output{{Value: 1}, {Value: 2}, {Value: 9}}
+	// Model 2's weight dominates: weighted median lands on 9.
+	if got := md.Aggregate(dataset.Regression, outs, Full(3)).Value; got != 9 {
+		t.Errorf("weighted median = %v, want 9", got)
+	}
+	// Dropping model 2 reverts to the small values.
+	if got := md.Aggregate(dataset.Regression, outs, Full(2)).Value; got > 2 {
+		t.Errorf("subset median = %v", got)
+	}
+	// Singleton median is the value itself.
+	if got := md.Aggregate(dataset.Regression, outs, Single(1)).Value; got != 2 {
+		t.Errorf("singleton median = %v", got)
+	}
+}
+
+func TestMedianPanics(t *testing.T) {
+	md := &Median{}
+	for name, f := range map[string]func(){
+		"wrong task": func() {
+			md.Aggregate(dataset.Classification, []model.Output{{Probs: []float64{1, 0}}}, Single(0))
+		},
+		"empty": func() { md.Aggregate(dataset.Regression, []model.Output{{Value: 1}}, Empty) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRankFusionAgreesWithEmbeddingOnCleanInput(t *testing.T) {
+	ds := dataset.ImageRetrieval(dataset.RetrievalConfig{
+		Config: dataset.Config{N: 50, Seed: 33}, GallerySize: 200, EmbDim: 8})
+	rf := &RankFusion{Gallery: ds.Gallery}
+	sc := NewScorer(ds)
+	// Fusing two copies of the true embedding must rank (nearly) like the
+	// true embedding itself.
+	var apSum float64
+	for _, s := range ds.Samples[:20] {
+		outs := []model.Output{
+			{Embedding: s.Embedding},
+			{Embedding: s.Embedding},
+		}
+		fused := rf.Aggregate(dataset.Retrieval, outs, Full(2))
+		if math.Abs(mathx.Norm2(fused.Embedding)-1) > 1e-9 {
+			t.Fatal("fused embedding not unit norm")
+		}
+		apSum += sc.Score(fused, model.Output{Embedding: s.Embedding})
+	}
+	if ap := apSum / 20; ap < 0.8 {
+		t.Errorf("clean-input RRF mAP = %v, want high", ap)
+	}
+}
+
+func TestRankFusionBeatsWorstModel(t *testing.T) {
+	ds := dataset.ImageRetrieval(dataset.RetrievalConfig{
+		Config: dataset.Config{N: 120, Seed: 34}, GallerySize: 250, EmbDim: 8})
+	models := model.ImageRetrievalModels(35, 8)
+	rf := &RankFusion{Gallery: ds.Gallery}
+	sc := NewScorer(ds)
+	var fusedAP, weakAP float64
+	for _, s := range ds.Samples {
+		outs := []model.Output{models[0].Predict(s), models[1].Predict(s)}
+		ref := model.Output{Embedding: s.Embedding}
+		fused := rf.Aggregate(dataset.Retrieval, outs, Full(2))
+		fusedAP += sc.Score(fused, ref)
+		weakAP += sc.Score(outs[0], ref)
+	}
+	if fusedAP <= weakAP {
+		t.Errorf("RRF fusion (%v) should beat the weak model alone (%v)", fusedAP, weakAP)
+	}
+}
+
+func TestRankFusionSubset(t *testing.T) {
+	ds := dataset.ImageRetrieval(dataset.RetrievalConfig{
+		Config: dataset.Config{N: 10, Seed: 36}, GallerySize: 100, EmbDim: 8})
+	rf := &RankFusion{Gallery: ds.Gallery}
+	s := ds.Samples[0]
+	outs := []model.Output{
+		{Embedding: s.Embedding},
+		{Embedding: ds.Samples[1].Embedding}, // unrelated
+	}
+	// Fusing only model 0 must ignore model 1's embedding entirely.
+	only0 := rf.Aggregate(dataset.Retrieval, outs, Single(0))
+	both := rf.Aggregate(dataset.Retrieval, outs, Full(2))
+	if mathx.CosineSim(only0.Embedding, s.Embedding) <=
+		mathx.CosineSim(both.Embedding, s.Embedding)-1e-9 {
+		t.Error("restricting to the clean model should not hurt similarity")
+	}
+}
+
+func TestRankFusionPanics(t *testing.T) {
+	rf := &RankFusion{}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing gallery did not panic")
+		}
+	}()
+	rf.Aggregate(dataset.Retrieval, []model.Output{{Embedding: []float64{1}}}, Single(0))
+}

@@ -1,0 +1,110 @@
+package ensemble
+
+import (
+	"math"
+	"sort"
+
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/model"
+)
+
+// Scorer measures how well a (possibly partial-subset) prediction agrees
+// with a reference output — in this repository the reference is always the
+// full ensemble's output, per the paper's evaluation convention. Scores are
+// in [0,1]: binary agreement for classification and regression, average
+// precision for retrieval (so a set mean is the mAP).
+type Scorer struct {
+	Task dataset.Task
+	// Tol is the regression agreement tolerance.
+	Tol float64
+	// Gallery is the retrieval corpus; TopK reference items form the
+	// relevant set (default 10).
+	Gallery [][]float64
+	TopK    int
+}
+
+// NewScorer builds the scorer matching ds.
+func NewScorer(ds *dataset.Dataset) *Scorer {
+	return &Scorer{Task: ds.Task, Tol: ds.Tol, Gallery: ds.Gallery, TopK: 10}
+}
+
+// Score returns the agreement of pred with ref.
+func (sc *Scorer) Score(pred, ref model.Output) float64 {
+	switch sc.Task {
+	case dataset.Classification:
+		if mathx.ArgMax(pred.Probs) == mathx.ArgMax(ref.Probs) {
+			return 1
+		}
+		return 0
+	case dataset.Regression:
+		tol := sc.Tol
+		if tol == 0 {
+			tol = 1
+		}
+		if math.Abs(pred.Value-ref.Value) <= tol {
+			return 1
+		}
+		return 0
+	case dataset.Retrieval:
+		return sc.averagePrecision(pred.Embedding, ref.Embedding)
+	default:
+		panic("ensemble: unknown task")
+	}
+}
+
+// Rank returns gallery indices sorted by descending cosine similarity to
+// emb.
+func (sc *Scorer) Rank(emb []float64) []int {
+	idx := make([]int, len(sc.Gallery))
+	sims := make([]float64, len(sc.Gallery))
+	for i, g := range sc.Gallery {
+		idx[i] = i
+		sims[i] = mathx.CosineSim(emb, g)
+	}
+	sort.Slice(idx, func(a, b int) bool { return sims[idx[a]] > sims[idx[b]] })
+	return idx
+}
+
+// averagePrecision treats the reference embedding's top-K gallery items as
+// the relevant set and computes the AP of the predicted embedding's
+// ranking over it.
+func (sc *Scorer) averagePrecision(pred, ref []float64) float64 {
+	k := sc.TopK
+	if k <= 0 {
+		k = 10
+	}
+	if k > len(sc.Gallery) {
+		k = len(sc.Gallery)
+	}
+	refRank := sc.Rank(ref)
+	relevant := make(map[int]bool, k)
+	for _, g := range refRank[:k] {
+		relevant[g] = true
+	}
+	predRank := sc.Rank(pred)
+	var hits, sum float64
+	for pos, g := range predRank {
+		if relevant[g] {
+			hits++
+			sum += hits / float64(pos+1)
+		}
+		if int(hits) == k {
+			break
+		}
+	}
+	return sum / float64(k)
+}
+
+// MeanScore returns the average agreement of preds against refs; for
+// retrieval this is the mAP.
+func (sc *Scorer) MeanScore(preds, refs []model.Output) float64 {
+	if len(preds) != len(refs) {
+		panic("ensemble: MeanScore length mismatch")
+	}
+	var s float64
+	for i := range preds {
+		s += sc.Score(preds[i], refs[i])
+	}
+	return s / float64(len(preds))
+}

@@ -1,0 +1,275 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/model"
+)
+
+// Aggregator combines the outputs of a subset of base models into the
+// ensemble's final output. outs has one entry per base model; only entries
+// whose index is in present are valid. Implementations must tolerate any
+// non-empty present set (that is what the missing-value-filling module
+// guarantees them).
+type Aggregator interface {
+	Name() string
+	Aggregate(task dataset.Task, outs []model.Output, present Subset) model.Output
+}
+
+// Ensemble is a deep ensemble: base models plus an aggregation module.
+type Ensemble struct {
+	Task    dataset.Task
+	Models  []model.Model
+	Agg     Aggregator
+	Weights []float64 // per-model aggregation weights; nil means uniform
+}
+
+// New builds an ensemble over models with the given aggregator. Weights may
+// be nil for uniform weighting.
+func New(task dataset.Task, models []model.Model, agg Aggregator, weights []float64) *Ensemble {
+	if len(models) == 0 || len(models) > MaxModels {
+		panic("ensemble: unsupported ensemble size")
+	}
+	if weights != nil && len(weights) != len(models) {
+		panic("ensemble: weights length mismatch")
+	}
+	return &Ensemble{Task: task, Models: models, Agg: agg, Weights: weights}
+}
+
+// M returns the ensemble size.
+func (e *Ensemble) M() int { return len(e.Models) }
+
+// FullSubset returns the subset containing every base model.
+func (e *Ensemble) FullSubset() Subset { return Full(e.M()) }
+
+// Outputs runs every base model on s and returns their outputs, indexed by
+// model.
+func (e *Ensemble) Outputs(s *dataset.Sample) []model.Output {
+	outs := make([]model.Output, e.M())
+	for k, m := range e.Models {
+		outs[k] = m.Predict(s)
+	}
+	return outs
+}
+
+// OutputsSubset runs only the models in sub; other entries are zero.
+func (e *Ensemble) OutputsSubset(s *dataset.Sample, sub Subset) []model.Output {
+	outs := make([]model.Output, e.M())
+	for k, m := range e.Models {
+		if sub.Contains(k) {
+			outs[k] = m.Predict(s)
+		}
+	}
+	return outs
+}
+
+// Predict aggregates the given base outputs over the present subset.
+func (e *Ensemble) Predict(outs []model.Output, present Subset) model.Output {
+	if present == Empty {
+		panic("ensemble: cannot aggregate the empty subset")
+	}
+	return e.Agg.Aggregate(e.Task, outs, present)
+}
+
+// PredictFull runs the complete ensemble on s.
+func (e *Ensemble) PredictFull(s *dataset.Sample) model.Output {
+	return e.Predict(e.Outputs(s), e.FullSubset())
+}
+
+// PredictSubset runs only the models in sub on s and aggregates them.
+func (e *Ensemble) PredictSubset(s *dataset.Sample, sub Subset) model.Output {
+	return e.Predict(e.OutputsSubset(s, sub), sub)
+}
+
+// Average is the (weighted) averaging aggregator: mean of probability
+// vectors for classification, mean of point estimates for regression, and
+// renormalized mean embedding for retrieval. Missing models' weights are
+// redistributed over the present ones, which is exactly the paper's
+// "set the weights of the missing outputs to 0 and reweight" rule.
+type Average struct {
+	// Weights mirror Ensemble.Weights; nil means uniform.
+	Weights []float64
+}
+
+// Name implements Aggregator.
+func (a *Average) Name() string { return "average" }
+
+func (a *Average) weightOf(k int) float64 {
+	if a.Weights == nil {
+		return 1
+	}
+	return a.Weights[k]
+}
+
+// Aggregate implements Aggregator.
+func (a *Average) Aggregate(task dataset.Task, outs []model.Output, present Subset) model.Output {
+	var totalW float64
+	for k := range outs {
+		if present.Contains(k) {
+			totalW += a.weightOf(k)
+		}
+	}
+	if totalW == 0 {
+		panic("ensemble: aggregate over empty or zero-weight subset")
+	}
+	switch task {
+	case dataset.Classification:
+		var dim int
+		for k := range outs {
+			if present.Contains(k) {
+				dim = len(outs[k].Probs)
+				break
+			}
+		}
+		probs := make([]float64, dim)
+		for k := range outs {
+			if !present.Contains(k) {
+				continue
+			}
+			w := a.weightOf(k) / totalW
+			for c, p := range outs[k].Probs {
+				probs[c] += w * p
+			}
+		}
+		return model.Output{Probs: probs}
+	case dataset.Regression:
+		var v float64
+		for k := range outs {
+			if present.Contains(k) {
+				v += a.weightOf(k) / totalW * outs[k].Value
+			}
+		}
+		return model.Output{Value: v}
+	case dataset.Retrieval:
+		var dim int
+		for k := range outs {
+			if present.Contains(k) {
+				dim = len(outs[k].Embedding)
+				break
+			}
+		}
+		emb := make([]float64, dim)
+		for k := range outs {
+			if !present.Contains(k) {
+				continue
+			}
+			w := a.weightOf(k) / totalW
+			for d, x := range outs[k].Embedding {
+				emb[d] += w * x
+			}
+		}
+		if n := mathx.Norm2(emb); n > 0 {
+			for d := range emb {
+				emb[d] /= n
+			}
+		}
+		return model.Output{Embedding: emb}
+	default:
+		panic(fmt.Sprintf("ensemble: unknown task %v", task))
+	}
+}
+
+// Vote is the (weighted) majority-vote aggregator for classification.
+// Missing models simply do not vote (the paper's rule for voting
+// aggregation). The output distribution is the normalized vote histogram,
+// with summed probabilities breaking ties.
+type Vote struct {
+	Weights []float64
+}
+
+// Name implements Aggregator.
+func (v *Vote) Name() string { return "vote" }
+
+func (v *Vote) weightOf(k int) float64 {
+	if v.Weights == nil {
+		return 1
+	}
+	return v.Weights[k]
+}
+
+// Aggregate implements Aggregator.
+func (v *Vote) Aggregate(task dataset.Task, outs []model.Output, present Subset) model.Output {
+	if task != dataset.Classification {
+		panic("ensemble: Vote supports classification only")
+	}
+	var dim int
+	for k := range outs {
+		if present.Contains(k) {
+			dim = len(outs[k].Probs)
+			break
+		}
+	}
+	votes := make([]float64, dim)
+	probSum := make([]float64, dim)
+	for k := range outs {
+		if !present.Contains(k) {
+			continue
+		}
+		w := v.weightOf(k)
+		votes[mathx.ArgMax(outs[k].Probs)] += w
+		for c, p := range outs[k].Probs {
+			probSum[c] += w * p
+		}
+	}
+	// Tie-break by summed probability: nudge votes by a sub-vote epsilon.
+	for c := range votes {
+		votes[c] += 1e-6 * probSum[c]
+	}
+	mathx.Normalize(votes)
+	return model.Output{Probs: votes}
+}
+
+// Filler fills the outputs of models outside the executed subset so that a
+// structure-agnostic aggregator (stacking) can run. Implementations must
+// leave executed outputs untouched.
+type Filler interface {
+	Name() string
+	// Fill returns a complete output vector given the partial outs.
+	Fill(outs []model.Output, present Subset) []model.Output
+}
+
+// Stacking aggregates by feeding the concatenated base-model class
+// probabilities through a trained meta-classifier (the XGBoost analogue in
+// the paper's text matching deployment). Because the meta-classifier has a
+// fixed input layout, missing outputs must be filled first.
+type Stacking struct {
+	// Meta scores the concatenated probability features; for binary
+	// classification it returns P(class 1).
+	Meta interface {
+		Predict(x []float64) float64
+	}
+	// Fill provides values for non-executed models (typically the KNN
+	// filler). Required whenever partial subsets are aggregated.
+	Fill Filler
+	// M is the ensemble size, Classes the task's class count.
+	M, Classes int
+}
+
+// Name implements Aggregator.
+func (st *Stacking) Name() string { return "stacking" }
+
+// Features flattens base outputs into the meta-classifier's input layout.
+func (st *Stacking) Features(outs []model.Output) []float64 {
+	x := make([]float64, 0, st.M*st.Classes)
+	for k := 0; k < st.M; k++ {
+		x = append(x, outs[k].Probs...)
+	}
+	return x
+}
+
+// Aggregate implements Aggregator (binary classification only).
+func (st *Stacking) Aggregate(task dataset.Task, outs []model.Output, present Subset) model.Output {
+	if task != dataset.Classification || st.Classes != 2 {
+		panic("ensemble: Stacking supports binary classification only")
+	}
+	if present != Full(st.M) {
+		if st.Fill == nil {
+			panic("ensemble: Stacking over a partial subset requires a Filler")
+		}
+		outs = st.Fill.Fill(outs, present)
+	}
+	p1 := mathx.Clamp(st.Meta.Predict(st.Features(outs)), 0, 1)
+	return model.Output{Probs: []float64{1 - p1, p1}}
+}

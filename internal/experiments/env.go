@@ -1,0 +1,487 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (plus the repository's own ablations). Each experiment is a
+// function from a shared Env — which lazily builds and caches the three
+// task pipelines — to a printable Table. The registry in registry.go maps
+// experiment ids (fig6, tab1, ...) to runners; cmd/schemble and
+// bench_test.go both go through it.
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/discrepancy"
+	"schemble/internal/ensemble"
+	"schemble/internal/metrics"
+	"schemble/internal/model"
+	"schemble/internal/pipeline"
+	"schemble/internal/rng"
+	"schemble/internal/sim"
+	"schemble/internal/trace"
+)
+
+// Env caches fitted pipelines and scales experiment sizes.
+type Env struct {
+	// Seed drives every generator in the environment.
+	Seed uint64
+	// Quick shrinks datasets and traces (used by tests); full size is the
+	// default for benches and the CLI.
+	Quick bool
+
+	tm, vc, ir *pipeline.Artifacts
+	six        *pipeline.Artifacts
+}
+
+// NewEnv builds an environment.
+func NewEnv(seed uint64, quick bool) *Env { return &Env{Seed: seed, Quick: quick} }
+
+func (e *Env) scale(full, quick int) int {
+	if e.Quick {
+		return quick
+	}
+	return full
+}
+
+// TextMatching returns the fitted bank-Q&A pipeline.
+func (e *Env) TextMatching() *pipeline.Artifacts {
+	if e.tm == nil {
+		ds := dataset.TextMatching(dataset.Config{N: e.scale(4000, 1800), Seed: e.Seed})
+		e.tm = pipeline.Build(pipeline.Config{
+			Dataset: ds, Models: model.TextMatchingModels(e.Seed),
+			PredictorEpochs: e.scale(150, 40), Seed: e.Seed,
+		})
+	}
+	return e.tm
+}
+
+// VehicleCounting returns the fitted detector-ensemble pipeline.
+func (e *Env) VehicleCounting() *pipeline.Artifacts {
+	if e.vc == nil {
+		ds := dataset.VehicleCounting(dataset.Config{N: e.scale(4000, 1800), Seed: e.Seed + 1})
+		e.vc = pipeline.Build(pipeline.Config{
+			Dataset: ds, Models: model.VehicleCountingModels(e.Seed + 1),
+			PredictorEpochs: e.scale(150, 40), Seed: e.Seed + 1,
+		})
+	}
+	return e.vc
+}
+
+// ImageRetrieval returns the fitted two-model DELG-like pipeline.
+func (e *Env) ImageRetrieval() *pipeline.Artifacts {
+	if e.ir == nil {
+		ds := dataset.ImageRetrieval(dataset.RetrievalConfig{
+			Config:      dataset.Config{N: e.scale(1600, 700), Seed: e.Seed + 2},
+			GallerySize: e.scale(1200, 400), EmbDim: 16,
+		})
+		e.ir = pipeline.Build(pipeline.Config{
+			Dataset: ds, Models: model.ImageRetrievalModels(e.Seed+2, 16),
+			PredictorEpochs: e.scale(150, 40), Seed: e.Seed + 2,
+		})
+	}
+	return e.ir
+}
+
+// SixModel returns the 6-architecture classification pipeline standing in
+// for the paper's CIFAR100 study (Fig. 5, Fig. 20a).
+func (e *Env) SixModel() *pipeline.Artifacts {
+	if e.six == nil {
+		ds := dataset.TextMatching(dataset.Config{N: e.scale(3000, 1500), Seed: e.Seed + 3})
+		skills := []float64{0.70, 0.76, 0.80, 0.84, 0.87, 0.90}
+		names := []string{"vgg16", "resnet18", "resnet101", "densenet121", "inceptionv3", "resnext50"}
+		var models []model.Model
+		for i := range skills {
+			models = append(models, model.NewSynthetic(model.SyntheticConfig{
+				Name: names[i], Task: dataset.Classification, Classes: 2,
+				Skill: skills[i], Latency: time.Duration(30+10*i) * time.Millisecond,
+				MemoryMB: 400, Kappa: 9, Seed: e.Seed + 30 + uint64(i),
+			}))
+		}
+		e.six = pipeline.Build(pipeline.Config{
+			Dataset: ds, Models: models,
+			PredictorEpochs: e.scale(80, 25), Seed: e.Seed + 3,
+		})
+	}
+	return e.six
+}
+
+// Baseline identifies a serving policy.
+type Baseline int
+
+// The paper's six baselines plus the Schemble(t) ablation.
+const (
+	Original Baseline = iota
+	Static
+	DESel
+	Gating
+	SchembleEA
+	Schemble
+	SchembleT
+)
+
+// Baselines is the comparison set of Exp-1/Exp-2.
+var Baselines = []Baseline{Original, Static, DESel, Gating, SchembleEA, Schemble}
+
+func (b Baseline) String() string {
+	switch b {
+	case Original:
+		return "Original"
+	case Static:
+		return "Static"
+	case DESel:
+		return "DES"
+	case Gating:
+		return "Gating"
+	case SchembleEA:
+		return "Schemble(ea)"
+	case Schemble:
+		return "Schemble"
+	case SchembleT:
+		return "Schemble(t)"
+	default:
+		return fmt.Sprintf("Baseline(%d)", int(b))
+	}
+}
+
+// DPOverhead models the DP scheduler's own compute cost in virtual time:
+// proportional to the planned window times the reward-level count 1/delta
+// (the table size of Alg. 1). tickPerCell is calibrated so delta = 0.01 is
+// cheap and delta = 0.001 visibly hurts, as in Fig. 21.
+func DPOverhead(delta float64) func(buffered int) time.Duration {
+	const tickPerCell = 350 * time.Nanosecond
+	if delta <= 0 {
+		delta = 0.01
+	}
+	levels := int(1/delta + 0.5)
+	return func(buffered int) time.Duration {
+		window := buffered
+		if window > 16 {
+			window = 16
+		}
+		return time.Duration(window*levels) * tickPerCell
+	}
+}
+
+// runCache memoizes baseline runs within an Env (several figures slice the
+// same runs differently).
+type runKey struct {
+	task     string
+	baseline Baseline
+	traceKey string
+	force    bool
+	delta    float64
+}
+
+var runCache = map[runKey][]metrics.Record{}
+
+// peakRate estimates the trace's busy-period arrival rate (the 90th
+// percentile of per-second arrival counts) — the load a static deployment
+// must provision for, since misses concentrate in the bursts.
+func peakRate(tr *trace.Trace) float64 {
+	if tr.N() == 0 {
+		return 1
+	}
+	n := int(tr.Horizon/time.Second) + 1
+	counts := make([]float64, n)
+	for _, a := range tr.Arrivals {
+		b := int(a.At / time.Second)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	sort.Float64s(counts)
+	return counts[int(0.9*float64(len(counts)-1))] + 1
+}
+
+// simCache memoizes custom-configuration runs by an explicit string key.
+var simCache = map[string][]metrics.Record{}
+
+// simRunCached runs the simulator once per (task, key), caching records.
+// pool must be the sample slice the trace's SampleIdx values index.
+func simRunCached(cfg sim.Config, tr *trace.Trace, a *pipeline.Artifacts, pool []*dataset.Sample, key string) []metrics.Record {
+	full := a.Dataset.Name + "/" + key
+	if recs, ok := simCache[full]; ok {
+		return recs
+	}
+	recs := sim.Run(cfg, tr, pool)
+	simCache[full] = recs
+	return recs
+}
+
+// RunBaseline serves the trace with the given baseline over artifacts a
+// and returns the per-query records. delta configures the DP quantization
+// for the Schemble family (0 means 0.01).
+func (e *Env) RunBaseline(a *pipeline.Artifacts, b Baseline, tr *trace.Trace, traceKey string, force bool, delta float64) []metrics.Record {
+	key := runKey{a.Dataset.Name, b, traceKey, force, delta}
+	if recs, ok := runCache[key]; ok {
+		return recs
+	}
+	cfg := sim.Config{
+		Ensemble: a.Ensemble,
+		Refs:     a.Refs,
+		Scorer:   a.Scorer,
+		Seed:     e.Seed,
+	}
+	switch b {
+	case Original:
+		cfg.Select = func(*dataset.Sample) ensemble.Subset { return a.Ensemble.FullSubset() }
+	case Static:
+		plan := a.StaticPlan(peakRate(tr))
+		cfg.Select = plan.Select()
+		cfg.Replicas = plan.Replicas
+	case DESel:
+		cfg.Select = a.TrainDES().Select
+	case Gating:
+		cfg.Select = a.TrainGating().Select
+	case SchembleEA, Schemble, SchembleT:
+		if delta == 0 {
+			delta = 0.01
+		}
+		cfg.Scheduler = &core.DP{Delta: delta}
+		cfg.SchedOverhead = DPOverhead(delta)
+		switch b {
+		case SchembleEA:
+			cfg.Rewarder = a.EAProfile
+			cfg.Estimator = a.EAPredictor
+			cfg.ScoreDelay = a.EAPredictor.InferCost
+		case SchembleT:
+			cfg.Rewarder = a.Profile
+			cfg.Estimator = &discrepancy.ConstantPredictor{Value: 0.5}
+		default:
+			cfg.Rewarder = a.Profile
+			cfg.Estimator = a.Predictor
+			cfg.ScoreDelay = a.Predictor.InferCost
+		}
+	}
+	cfg.ForceProcess = force
+	// All Env traces draw from the serving pool.
+	recs := sim.Run(cfg, tr, a.Serve)
+	runCache[key] = recs
+	return recs
+}
+
+// TMHourSeconds is the one-day trace's per-hour compression used by all
+// text matching experiments (segment widths must match it).
+func (e *Env) TMHourSeconds() float64 { return float64(e.scale(30, 8)) }
+
+// TMTrace returns the one-day bursty trace for the text matching task with
+// the given constant deadline.
+func (e *Env) TMTrace(deadline time.Duration) (*trace.Trace, string) {
+	tr := trace.OneDay(trace.OneDayConfig{
+		Samples:     e.TextMatching().Serve,
+		Deadline:    trace.ConstantDeadline(deadline),
+		HourSeconds: e.TMHourSeconds(),
+		BaseRate:    0.7,
+		Seed:        e.Seed + 10,
+	})
+	return tr, fmt.Sprintf("oneday-%v", deadline)
+}
+
+// VCTrace returns Poisson traffic with per-camera random deadlines around
+// the given mean for the vehicle counting task.
+func (e *Env) VCTrace(meanDeadline time.Duration) (*trace.Trace, string) {
+	a := e.VehicleCounting()
+	lo := meanDeadline / 2
+	hi := meanDeadline + meanDeadline/2
+	tr := trace.Poisson(trace.PoissonConfig{
+		RatePerSec: 35,
+		N:          e.scale(6000, 1200),
+		Samples:    a.Serve,
+		Deadline:   trace.NewCameraDeadline(lo, hi, e.Seed+11),
+		Seed:       e.Seed + 11,
+	})
+	return tr, fmt.Sprintf("vc-poisson-%v", meanDeadline)
+}
+
+// IRTrace returns Poisson traffic with constant deadlines for the image
+// retrieval task.
+func (e *Env) IRTrace(deadline time.Duration) (*trace.Trace, string) {
+	a := e.ImageRetrieval()
+	tr := trace.Poisson(trace.PoissonConfig{
+		RatePerSec: 16,
+		N:          e.scale(4000, 900),
+		Samples:    a.Serve,
+		Deadline:   trace.ConstantDeadline(deadline),
+		Seed:       e.Seed + 12,
+	})
+	return tr, fmt.Sprintf("ir-poisson-%v", deadline)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// fms formats a millisecond value from a duration.
+func fms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+
+// fsec formats seconds with three decimals.
+func fsec(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// fpct formats a fraction as a percentage with one decimal.
+func fpct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }
+
+// f3 formats with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// resampleByScore draws n samples from pool so their true-score
+// distribution approximates the target difficulty spec (Exp-3's
+// Normal/Gamma shifts): each draw samples a target score and picks the
+// pool sample with the nearest score.
+func resampleByScore(pool []*dataset.Sample, scores []float64, target dataset.DifficultySpec, n int, seed uint64) []*dataset.Sample {
+	type entry struct {
+		s     *dataset.Sample
+		score float64
+	}
+	sorted := make([]entry, len(pool))
+	for i, s := range pool {
+		sorted[i] = entry{s, scores[s.ID]}
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].score < sorted[b].score })
+	src := rng.New(seed ^ 0x2e5a)
+	out := make([]*dataset.Sample, n)
+	for i := 0; i < n; i++ {
+		t := target.Sample(src)
+		// Binary search for the nearest score.
+		lo, hi := 0, len(sorted)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if sorted[mid].score < t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		best := lo
+		if lo > 0 && t-sorted[lo-1].score < sorted[lo].score-t {
+			best = lo - 1
+		}
+		// Jitter within a small neighbourhood for diversity.
+		j := best + src.Intn(9) - 4
+		if j < 0 {
+			j = 0
+		}
+		if j >= len(sorted) {
+			j = len(sorted) - 1
+		}
+		out[i] = sorted[j].s
+	}
+	return out
+}
+
+// ContendedTMTrace is Poisson traffic near the Schemble family's own
+// capacity limit on text matching, where scheduling decisions (not just
+// subset sizes) decide who makes deadlines. The scheduler-comparison
+// experiments (Figs. 12, 19, 21) run here: on the calibrated one-day trace
+// the Schemble pipeline has enough headroom that every scheduler coasts.
+func (e *Env) ContendedTMTrace(deadline time.Duration) (*trace.Trace, string) {
+	a := e.TextMatching()
+	tr := trace.Poisson(trace.PoissonConfig{
+		RatePerSec: 55,
+		N:          e.scale(6000, 1200),
+		Samples:    a.Serve,
+		Deadline:   trace.ConstantDeadline(deadline),
+		Seed:       e.Seed + 13,
+	})
+	return tr, fmt.Sprintf("tm-contended-%v", deadline)
+}
+
+// lightTrace is low-rate Poisson traffic where predictor latency is a
+// visible fraction of response time (used by abl-fastpath).
+func lightTrace(e *Env, a *pipeline.Artifacts) *trace.Trace {
+	return trace.Poisson(trace.PoissonConfig{
+		RatePerSec: 4, N: e.scale(2000, 600), Samples: a.Serve,
+		Deadline: trace.ConstantDeadline(400 * time.Millisecond),
+		Seed:     e.Seed + 14,
+	})
+}
+
+// metricsSummarize re-exports metrics.Summarize for sibling files.
+func metricsSummarize(recs []metrics.Record) metrics.Summary {
+	return metrics.Summarize(recs)
+}
+
+// MarshalJSON renders the table as a structured object (the CLI's -format
+// json output).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
+}
+
+// FprintCSV renders the table as CSV (header row first).
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

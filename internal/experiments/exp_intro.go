@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/ensemble"
+	"schemble/internal/mathx"
+	"schemble/internal/metrics"
+	"schemble/internal/model"
+	"schemble/internal/pipeline"
+)
+
+// Fig1a reproduces Fig. 1a: the one-day query traffic of the intelligent
+// Q&A system and the deadline miss rate of the original deep ensemble per
+// time segment.
+func Fig1a(e *Env) *Table {
+	a := e.TextMatching()
+	tr, key := e.TMTrace(100 * time.Millisecond)
+	recs := e.RunBaseline(a, Original, tr, key, false, 0)
+	hourSeconds := e.TMHourSeconds()
+	width := time.Duration(hourSeconds * float64(time.Second))
+	segs := metrics.Segment(recs, width, tr.Horizon)
+	t := &Table{
+		ID:      "fig1a",
+		Title:   "One-day traffic and deadline miss rate of the original ensemble (deadline 100ms)",
+		Columns: []string{"hour", "queries", "rate(q/s)", "DMR(%)"},
+	}
+	for h := 0; h < 24 && h < len(segs); h++ {
+		s := segs[h]
+		t.AddRow(fmt.Sprintf("%02d", h),
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.1f", float64(s.N)/hourSeconds),
+			fpct(s.DMR))
+	}
+	t.Notes = append(t.Notes,
+		"paper: miss rate tracks load and peaks ~45% in the burst hours")
+	return t
+}
+
+// Fig1b reproduces Fig. 1b: accuracy (against true labels) and latency of
+// the base models vs the ensemble.
+func Fig1b(e *Env) *Table {
+	a := e.TextMatching()
+	t := &Table{
+		ID:      "fig1b",
+		Title:   "Base models vs ensemble (text matching): accuracy and latency",
+		Columns: []string{"model", "accuracy(%)", "latency(ms)"},
+	}
+	labelAcc := func(pred func(id int) []float64) float64 {
+		var correct float64
+		for _, s := range a.Dataset.Samples {
+			if mathx.ArgMax(pred(s.ID)) == s.Label {
+				correct++
+			}
+		}
+		return correct / float64(len(a.Dataset.Samples))
+	}
+	var slowest time.Duration
+	for k, m := range a.Ensemble.Models {
+		k := k
+		acc := labelAcc(func(id int) []float64 { return a.Outs[id][k].Probs })
+		t.AddRow(m.Name(), fpct(acc), fms(m.MeanLatency()))
+		if m.MeanLatency() > slowest {
+			slowest = m.MeanLatency()
+		}
+	}
+	ensAcc := labelAcc(func(id int) []float64 { return a.Refs[id].Probs })
+	// Parallel execution: the ensemble's latency is the slowest member
+	// plus the (neglectable) aggregation cost.
+	t.AddRow("ensemble", fpct(ensAcc), fms(slowest+2*time.Millisecond))
+	t.Notes = append(t.Notes,
+		"paper: ensemble beats every base model; latency slightly above the slowest member")
+	return t
+}
+
+// Fig4a reproduces Fig. 4a: the distribution of discrepancy scores on the
+// three datasets.
+func Fig4a(e *Env) *Table {
+	t := &Table{
+		ID:      "fig4a",
+		Title:   "Distribution of discrepancy scores (fraction per score decile)",
+		Columns: []string{"bin", "textmatching", "vehiclecounting", "imageretrieval"},
+	}
+	arts := []*pipeline.Artifacts{e.TextMatching(), e.VehicleCounting(), e.ImageRetrieval()}
+	const bins = 10
+	hists := make([][]float64, len(arts))
+	for i, a := range arts {
+		h := make([]float64, bins)
+		for _, s := range a.TrueScores {
+			b := int(s * bins)
+			if b >= bins {
+				b = bins - 1
+			}
+			h[b]++
+		}
+		for b := range h {
+			h[b] /= float64(len(a.TrueScores))
+		}
+		hists[i] = h
+	}
+	for b := 0; b < bins; b++ {
+		t.AddRow(fmt.Sprintf("%.1f-%.1f", float64(b)/bins, float64(b+1)/bins),
+			f3(hists[0][b]), f3(hists[1][b]), f3(hists[2][b]))
+	}
+	return t
+}
+
+// Fig4b reproduces Fig. 4b: agreement of every model combination with the
+// full ensemble per discrepancy-score bin (text matching).
+func Fig4b(e *Env) *Table {
+	a := e.TextMatching()
+	p := a.Profile
+	subsets := ensemble.AllSubsets(a.Ensemble.M())
+	cols := []string{"bin"}
+	for _, s := range subsets {
+		cols = append(cols, s.String())
+	}
+	t := &Table{
+		ID:      "fig4b",
+		Title:   "Accuracy of model combinations per discrepancy-score bin (text matching)",
+		Columns: cols,
+	}
+	for b := 0; b < p.Bins; b++ {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, s := range subsets {
+			row = append(row, fpct(p.RewardBin(b, s)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: easy bins exceed 90% for all combinations; hard bins degrade for small subsets")
+	return t
+}
+
+// Fig5 reproduces Fig. 5: correlation of model preferences across
+// architectures and random seeds, versus the stability of the discrepancy
+// score. Preference of model k is the vector of distances d(f_k(x), E(x)).
+func Fig5(e *Env) *Table {
+	a := e.SixModel()
+	ds := a.Dataset
+	m := a.Ensemble.M()
+
+	// Second, independently seeded copy of each architecture (retrained
+	// with a different random seed, in the paper's terms).
+	skills := []float64{0.70, 0.76, 0.80, 0.84, 0.87, 0.90}
+	var alt []model.Model
+	for i := range skills {
+		alt = append(alt, model.NewSynthetic(model.SyntheticConfig{
+			Name: a.Ensemble.Models[i].Name() + "'", Task: dataset.Classification,
+			Classes: 2, Skill: skills[i],
+			Latency:  a.Ensemble.Models[i].MeanLatency(),
+			MemoryMB: 400, Kappa: 9, Seed: e.Seed + 300 + uint64(i),
+		}))
+	}
+	altEns := ensemble.New(dataset.Classification, alt, &ensemble.Average{}, nil)
+
+	// Preference vectors: distance of each model's output to its
+	// ensemble's output, per sample.
+	pref := make([][]float64, m)    // seed A
+	prefAlt := make([][]float64, m) // seed B
+	var disA, disB []float64        // discrepancy scores per seed
+	for k := 0; k < m; k++ {
+		pref[k] = make([]float64, 0, len(ds.Samples))
+		prefAlt[k] = make([]float64, 0, len(ds.Samples))
+	}
+	for _, s := range ds.Samples {
+		outsA := a.Outs[s.ID]
+		refA := a.Refs[s.ID]
+		outsB := altEns.Outputs(s)
+		refB := altEns.Predict(outsB, altEns.FullSubset())
+		var sumA, sumB float64
+		for k := 0; k < m; k++ {
+			dA := mathx.JS(outsA[k].Probs, refA.Probs)
+			dB := mathx.JS(outsB[k].Probs, refB.Probs)
+			pref[k] = append(pref[k], dA)
+			prefAlt[k] = append(prefAlt[k], dB)
+			sumA += dA
+			sumB += dB
+		}
+		disA = append(disA, sumA/float64(m))
+		disB = append(disB, sumB/float64(m))
+	}
+
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Correlation of model preferences across seeds vs discrepancy-score stability",
+		Columns: []string{"quantity", "corr(seedA, seedB)"},
+	}
+	var prefMean float64
+	for k := 0; k < m; k++ {
+		r := mathx.Pearson(pref[k], prefAlt[k])
+		prefMean += r
+		t.AddRow(a.Ensemble.Models[k].Name()+" preference", f3(r))
+	}
+	prefMean /= float64(m)
+	disCorr := mathx.Pearson(disA, disB)
+	t.AddRow("mean preference", f3(prefMean))
+	t.AddRow("discrepancy score", f3(disCorr))
+	t.Notes = append(t.Notes,
+		"paper: per-model preferences are unstable across seeds; the discrepancy score correlates strongly")
+	return t
+}
+
+// Fig13 reproduces Fig. 13: latency and memory of the discrepancy
+// prediction network relative to the deep ensemble.
+func Fig13(e *Env) *Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Overhead of the discrepancy predictor vs the deep ensemble",
+		Columns: []string{"task", "pred lat(ms)", "ens lat(ms)", "lat(%)", "pred mem(MB)", "ens mem(MB)", "mem(%)"},
+	}
+	for _, a := range []*pipeline.Artifacts{e.TextMatching(), e.VehicleCounting(), e.ImageRetrieval()} {
+		var ensLat time.Duration
+		var ensMem int64
+		for _, m := range a.Ensemble.Models {
+			if m.MeanLatency() > ensLat {
+				ensLat = m.MeanLatency()
+			}
+			ensMem += m.Memory()
+		}
+		p := a.Predictor
+		t.AddRow(a.Dataset.Name,
+			fms(p.InferCost), fms(ensLat),
+			fpct(float64(p.InferCost)/float64(ensLat)),
+			fmt.Sprintf("%d", p.MemoryBytes>>20),
+			fmt.Sprintf("%d", ensMem>>20),
+			fpct(float64(p.MemoryBytes)/float64(ensMem)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: predictor costs ~6.5% of ensemble runtime and 0.4-2% of its memory")
+	return t
+}

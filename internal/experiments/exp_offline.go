@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/discrepancy"
+	"schemble/internal/ensemble"
+	"schemble/internal/filling"
+	"schemble/internal/gbdt"
+	"schemble/internal/mathx"
+	"schemble/internal/metrics"
+	"schemble/internal/model"
+	"schemble/internal/pipeline"
+	"schemble/internal/profiling"
+	"schemble/internal/rng"
+	"schemble/internal/sim"
+	"schemble/internal/trace"
+)
+
+// Fig10 reproduces Exp-3: the difficulty distribution of the query stream
+// is shifted to Normal / Gamma with varying means; accuracy and processed
+// accuracy per baseline (including Schemble(t)) at a fixed 105ms deadline.
+func Fig10(e *Env) *Table {
+	a := e.TextMatching()
+	t := &Table{
+		ID:    "fig10",
+		Title: "Accuracy under shifted discrepancy-score distributions (deadline 105ms)",
+		Columns: []string{"distribution", "mean", "baseline",
+			"Acc(%)", "processed(%)", "DMR(%)"},
+	}
+	show := []Baseline{Static, Gating, SchembleT, Schemble}
+	means := []float64{0.2, 0.4, 0.6, 0.8}
+	if e.Quick {
+		means = []float64{0.3, 0.7}
+	}
+	kinds := []struct {
+		name string
+		kind dataset.DifficultyKind
+	}{
+		{"normal", dataset.NormalDist},
+		{"gamma", dataset.GammaDist},
+	}
+	n := e.scale(5000, 1200)
+	for _, k := range kinds {
+		for _, mean := range means {
+			pool := resampleByScore(a.Serve, a.TrueScores,
+				dataset.DifficultySpec{Kind: k.kind, Mean: mean}, n, e.Seed+77)
+			tr := trace.Poisson(trace.PoissonConfig{
+				RatePerSec: 60, N: n, Samples: pool,
+				Deadline: trace.ConstantDeadline(105 * time.Millisecond),
+				Seed:     e.Seed + 78,
+			})
+			for _, b := range show {
+				cfg := baselineConfig(e, a, b, tr)
+				key := fmt.Sprintf("fig10/%s-%.1f/%s", k.name, mean, b)
+				s := metrics.Summarize(simRunCached(cfg, tr, a, pool, key))
+				t.AddRow(k.name, fmt.Sprintf("%.1f", mean), b.String(),
+					fpct(s.Accuracy), fpct(s.Processed), fpct(s.DMR))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: accuracy decreases with the mean; Schemble(t) matches Schemble only at extreme means")
+	return t
+}
+
+// baselineConfig builds the sim config for a baseline without caching (for
+// experiments whose traces use custom pools).
+func baselineConfig(e *Env, a *pipeline.Artifacts, b Baseline, tr *trace.Trace) sim.Config {
+	cfg := sim.Config{
+		Ensemble: a.Ensemble,
+		Refs:     a.Refs,
+		Scorer:   a.Scorer,
+		Seed:     e.Seed,
+	}
+	switch b {
+	case Original:
+		cfg.Select = func(*dataset.Sample) ensemble.Subset { return a.Ensemble.FullSubset() }
+	case Static:
+		plan := a.StaticPlan(float64(tr.N()) / tr.Horizon.Seconds())
+		cfg.Select = plan.Select()
+		cfg.Replicas = plan.Replicas
+	case DESel:
+		cfg.Select = a.TrainDES().Select
+	case Gating:
+		cfg.Select = a.TrainGating().Select
+	default:
+		cfg.Scheduler = &core.DP{Delta: 0.01}
+		cfg.SchedOverhead = DPOverhead(0.01)
+		switch b {
+		case SchembleEA:
+			cfg.Rewarder = a.EAProfile
+			cfg.Estimator = a.EAPredictor
+			cfg.ScoreDelay = a.EAPredictor.InferCost
+		case SchembleT:
+			cfg.Rewarder = a.Profile
+			cfg.Estimator = &discrepancy.ConstantPredictor{Value: 0.5}
+		default:
+			cfg.Rewarder = a.Profile
+			cfg.Estimator = a.Predictor
+			cfg.ScoreDelay = a.Predictor.InferCost
+		}
+	}
+	return cfg
+}
+
+// Fig16 reproduces the appendix Fig. 16: offline budgeted selection. With
+// no arrival dynamics, each method selects a subset per sample to maximize
+// accuracy subject to an average per-query runtime budget; Schemble* uses
+// predicted scores, its Oracle variant true scores, its (ea) variant
+// agreement scores.
+func Fig16(e *Env) *Table {
+	a := e.TextMatching()
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Offline accuracy under average runtime budgets (text matching)",
+		Columns: []string{"budget(ms)", "Random", "Gating", "Schemble*(ea)", "Schemble*", "Schemble*(Oracle)"},
+	}
+	pool := a.Serve
+	budgets := []time.Duration{
+		30 * time.Millisecond, 60 * time.Millisecond, 100 * time.Millisecond,
+		150 * time.Millisecond, 190 * time.Millisecond,
+	}
+	if e.Quick {
+		budgets = []time.Duration{60 * time.Millisecond, 150 * time.Millisecond}
+	}
+
+	// Per-subset cost: the summed runtime of its models (the offline
+	// cumulative-runtime convention of the DES literature).
+	m := a.Ensemble.M()
+	subsets := ensemble.AllSubsets(m)
+	cost := map[ensemble.Subset]time.Duration{}
+	for _, s := range subsets {
+		var c time.Duration
+		for _, k := range s.Models() {
+			c += a.Ensemble.Models[k].MeanLatency()
+		}
+		cost[s] = c
+	}
+	agree := func(id int, s ensemble.Subset) float64 {
+		return a.Scorer.Score(a.Ensemble.Predict(a.Outs[id], s), a.Refs[id])
+	}
+
+	// greedyBudget allocates upgrades by marginal reward per marginal
+	// cost until the budget is spent, starting from the cheapest subset.
+	greedyBudget := func(scores []float64, budget time.Duration) float64 {
+		cheapest := subsets[0]
+		for _, s := range subsets {
+			if cost[s] < cost[cheapest] {
+				cheapest = s
+			}
+		}
+		chosen := make([]ensemble.Subset, len(pool))
+		spent := time.Duration(0)
+		for i := range chosen {
+			chosen[i] = cheapest
+			spent += cost[cheapest]
+		}
+		total := budget * time.Duration(len(pool))
+		// Repeatedly apply the single best upgrade across all samples.
+		type upgrade struct {
+			idx  int
+			to   ensemble.Subset
+			eff  float64
+			cost time.Duration
+		}
+		for spent < total {
+			best := upgrade{idx: -1}
+			for i := range pool {
+				curR := a.Profile.Reward(scores[i], chosen[i])
+				for _, s := range subsets {
+					dc := cost[s] - cost[chosen[i]]
+					if dc <= 0 || spent+dc > total {
+						continue
+					}
+					dr := a.Profile.Reward(scores[i], s) - curR
+					if dr <= 0 {
+						continue
+					}
+					eff := dr / dc.Seconds()
+					if best.idx < 0 || eff > best.eff {
+						best = upgrade{i, s, eff, dc}
+					}
+				}
+			}
+			if best.idx < 0 {
+				break
+			}
+			chosen[best.idx] = best.to
+			spent += best.cost
+		}
+		var acc float64
+		for i, s := range pool {
+			acc += agree(s.ID, chosen[i])
+		}
+		return acc / float64(len(pool))
+	}
+
+	// Random baseline: grow random subsets until the budget is met.
+	randomBudget := func(budget time.Duration) float64 {
+		src := rng.New(e.Seed + 123)
+		total := budget * time.Duration(len(pool))
+		spent := time.Duration(0)
+		var acc float64
+		for _, s := range pool {
+			sub := ensemble.Single(src.Intn(m))
+			for spent+cost[sub] > total && sub.Size() > 0 {
+				break
+			}
+			for src.Bool(0.5) && sub.Size() < m {
+				k := src.Intn(m)
+				if !sub.Contains(k) && spent+cost[sub.With(k)] <= total {
+					sub = sub.With(k)
+				} else {
+					break
+				}
+			}
+			spent += cost[sub]
+			if spent > total {
+				break
+			}
+			acc += agree(s.ID, sub)
+		}
+		return acc / float64(len(pool))
+	}
+
+	// Gating baseline: thresholded gate subsets, with the threshold swept
+	// to meet the budget.
+	gate := a.TrainGating()
+	gatingBudget := func(budget time.Duration) float64 {
+		bestAcc := 0.0
+		for _, th := range []float64{0.999, 0.99, 0.95, 0.9, 0.8} {
+			gate.Threshold = th
+			var acc float64
+			spent := time.Duration(0)
+			total := budget * time.Duration(len(pool))
+			ok := true
+			for _, s := range pool {
+				sub := gate.Select(s)
+				spent += cost[sub]
+				if spent > total {
+					ok = false
+					break
+				}
+				acc += agree(s.ID, sub)
+			}
+			if ok {
+				if a := acc / float64(len(pool)); a > bestAcc {
+					bestAcc = a
+				}
+			}
+		}
+		return bestAcc
+	}
+
+	predScores := make([]float64, len(pool))
+	trueScores := make([]float64, len(pool))
+	eaScores := make([]float64, len(pool))
+	for i, s := range pool {
+		predScores[i] = a.Predictor.Predict(s)
+		trueScores[i] = a.TrueScores[s.ID]
+		eaScores[i] = a.EAPredictor.Predict(s)
+	}
+
+	for _, b := range budgets {
+		t.AddRow(fms(b),
+			fpct(randomBudget(b)),
+			fpct(gatingBudget(b)),
+			fpct(greedyBudget(eaScores, b)),
+			fpct(greedyBudget(predScores, b)),
+			fpct(greedyBudget(trueScores, b)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Schemble* approaches its oracle and dominates; gating fails to discriminate inputs")
+	return t
+}
+
+// Fig20a reproduces the appendix Fig. 20a: MSE of the marginal-reward
+// estimation (Eq. 3) against measured rewards, per ensemble size.
+func Fig20a(e *Env) *Table {
+	a := e.SixModel()
+	trainScores := make([]float64, len(a.Train))
+	trainIDs := make([]int, len(a.Train))
+	for i, s := range a.Train {
+		trainScores[i] = a.TrueScores[s.ID]
+		trainIDs[i] = s.ID
+	}
+	agree := func(i int, s ensemble.Subset) float64 {
+		id := trainIDs[i]
+		return a.Scorer.Score(a.Ensemble.Predict(a.Outs[id], s), a.Refs[id])
+	}
+	p := profiling.Build(profiling.Config{M: a.Ensemble.M(), Bins: 6}, trainScores, agree)
+	gammas := profiling.FitGammas(p)
+	est := profiling.NewEstimator(p, gammas)
+
+	t := &Table{
+		ID:      "fig20a",
+		Title:   "Marginal-reward estimation MSE vs measured rewards, by subset size",
+		Columns: []string{"subset size", "MSE", "pairs"},
+	}
+	for size := 3; size <= a.Ensemble.M(); size++ {
+		var sse float64
+		var count int
+		for b := 0; b < p.Bins; b++ {
+			for _, s := range ensemble.SubsetsOfSize(a.Ensemble.M(), size) {
+				d := est.Reward(b, s) - p.RewardBin(b, s)
+				sse += d * d
+				count++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%.2e", sse/float64(count)),
+			fmt.Sprintf("%d", count))
+	}
+	t.Notes = append(t.Notes,
+		"paper: MSE below 1.6e-4 on CIFAR100; the estimate closely tracks measured accuracy")
+	return t
+}
+
+// Fig20b reproduces the appendix Fig. 20b: robustness of KNN missing-value
+// filling to k, under stacking aggregation.
+func Fig20b(e *Env) *Table {
+	a := e.TextMatching()
+	st, bank := stackingSetup(e, a)
+	t := &Table{
+		ID:      "fig20b",
+		Title:   "Stacking accuracy vs KNN filling parameter k (random partial subsets)",
+		Columns: []string{"k", "Acc(%)"},
+	}
+	ks := []int{1, 5, 10, 20, 50, 100}
+	if e.Quick {
+		ks = []int{1, 10, 100}
+	}
+	for _, k := range ks {
+		st.Fill = filling.NewKNN(k, bank)
+		t.AddRow(fmt.Sprintf("%d", k), fpct(stackingPartialAccuracy(e, a, st)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: accuracy is robust to k; only k=1 loses slightly")
+	return t
+}
+
+// AblFill compares missing-value fillers under stacking aggregation.
+func AblFill(e *Env) *Table {
+	a := e.TextMatching()
+	st, bank := stackingSetup(e, a)
+	t := &Table{
+		ID:      "abl-fill",
+		Title:   "Missing-value filling strategies under stacking aggregation",
+		Columns: []string{"filler", "Acc(%)"},
+	}
+	fillers := []ensemble.Filler{
+		filling.NewKNN(10, bank),
+		filling.MeanOfPresent{},
+		&filling.Uniform{Classes: 2},
+	}
+	for _, f := range fillers {
+		st.Fill = f
+		t.AddRow(f.Name(), fpct(stackingPartialAccuracy(e, a, st)))
+	}
+	t.Notes = append(t.Notes, "KNN and mean-of-present reconstruct signal; uniform filling loses accuracy")
+	return t
+}
+
+// stackingSetup trains the GBDT meta-classifier on the training split and
+// builds the KNN history bank.
+func stackingSetup(e *Env, a *pipeline.Artifacts) (*ensemble.Stacking, []filling.Record) {
+	var xs [][]float64
+	var ys []float64
+	st := &ensemble.Stacking{M: a.Ensemble.M(), Classes: 2}
+	for _, s := range a.Train {
+		xs = append(xs, st.Features(a.Outs[s.ID]))
+		ys = append(ys, float64(mathx.ArgMax(a.Refs[s.ID].Probs)))
+	}
+	st.Meta = gbdt.Train(gbdt.Config{
+		Objective: gbdt.Logistic, NumTrees: e.scale(80, 30), MaxDepth: 3,
+	}, xs, ys)
+	bank := make([]filling.Record, 0, len(a.Train))
+	for _, s := range a.Train {
+		bank = append(bank, filling.Record{Outputs: a.Outs[s.ID]})
+	}
+	return st, bank
+}
+
+// stackingPartialAccuracy evaluates stacking+filler agreement with the
+// full-stacking reference on random partial subsets of the serve pool.
+func stackingPartialAccuracy(e *Env, a *pipeline.Artifacts, st *ensemble.Stacking) float64 {
+	src := rng.New(e.Seed + 555)
+	m := a.Ensemble.M()
+	subs := ensemble.AllSubsets(m)
+	var acc float64
+	n := e.scale(800, 300)
+	if n > len(a.Serve) {
+		n = len(a.Serve)
+	}
+	for _, s := range a.Serve[:n] {
+		full := st.Aggregate(dataset.Classification, a.Outs[s.ID], ensemble.Full(m))
+		sub := subs[src.Intn(len(subs))]
+		masked := make([]model.Output, len(a.Outs[s.ID]))
+		for k := range masked {
+			if sub.Contains(k) {
+				masked[k] = a.Outs[s.ID][k]
+			}
+		}
+		partial := st.Aggregate(dataset.Classification, masked, sub)
+		if mathx.ArgMax(partial.Probs) == mathx.ArgMax(full.Probs) {
+			acc++
+		}
+	}
+	return acc / float64(n)
+}

@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"schemble/internal/metrics"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { testEnv = NewEnv(7, true) })
+	return testEnv
+}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) of %s not numeric: %q", row, col, tab.ID, tab.Rows[row][col])
+	}
+	return v
+}
+
+// findRows returns indices of rows whose given column equals val.
+func findRows(tab *Table, col int, val string) []int {
+	var out []int
+	for i, r := range tab.Rows {
+		if col < len(r) && r[col] == val {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All) {
+		t.Fatalf("IDs() returned %d, All has %d", len(ids), len(All))
+	}
+	seen := map[string]bool{}
+	for _, s := range All {
+		if seen[s.ID] {
+			t.Fatalf("duplicate experiment id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil || s.Title == "" {
+			t.Fatalf("experiment %s incomplete", s.ID)
+		}
+	}
+	if _, err := Lookup("fig6"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown id should fail")
+	}
+}
+
+func TestFig1aBurstShape(t *testing.T) {
+	tab := Fig1a(env(t))
+	if len(tab.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(tab.Rows))
+	}
+	// DMR at the 14h peak must far exceed the 2h night value.
+	night := cell(t, tab, 2, 3)
+	peak := cell(t, tab, 14, 3)
+	if peak < night+10 {
+		t.Errorf("peak DMR %v should exceed night DMR %v substantially", peak, night)
+	}
+	// Traffic shape: peak rate >> night rate.
+	if cell(t, tab, 14, 2) < 10*cell(t, tab, 2, 2) {
+		t.Errorf("peak rate should dwarf night rate")
+	}
+}
+
+func TestFig1bOrdering(t *testing.T) {
+	tab := Fig1b(env(t))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	bilstm, bert, ens := cell(t, tab, 0, 1), cell(t, tab, 2, 1), cell(t, tab, 3, 1)
+	if !(bilstm < bert && bert <= ens+1.5) {
+		t.Errorf("accuracy ordering violated: bilstm=%v bert=%v ensemble=%v", bilstm, bert, ens)
+	}
+	// Ensemble latency slightly above the slowest base model.
+	if lat := cell(t, tab, 3, 2); lat < 90 {
+		t.Errorf("ensemble latency %v should exceed the slowest member", lat)
+	}
+}
+
+func TestFig5DiscrepancyMoreStable(t *testing.T) {
+	tab := Fig5(env(t))
+	n := len(tab.Rows)
+	meanPref := cell(t, tab, n-2, 1)
+	dis := cell(t, tab, n-1, 1)
+	if dis <= meanPref {
+		t.Errorf("discrepancy stability %v should exceed mean preference stability %v", dis, meanPref)
+	}
+	if dis < 0.5 {
+		t.Errorf("discrepancy cross-seed correlation = %v, want strong", dis)
+	}
+}
+
+func TestTable1Headline(t *testing.T) {
+	tab := Table1(env(t))
+	if len(tab.Rows) != len(Baselines) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(name string, col int) float64 {
+		rows := findRows(tab, 0, name)
+		if len(rows) != 1 {
+			t.Fatalf("baseline %s not found", name)
+		}
+		return cell(t, tab, rows[0], col)
+	}
+	// Headline: Schemble beats Original dramatically on TM accuracy and
+	// DMR, and beats the (ea) variant on accuracy.
+	if get("Schemble", 1) <= get("Original", 1) {
+		t.Error("Schemble TM accuracy should beat Original")
+	}
+	if get("Schemble", 2) >= get("Original", 2) {
+		t.Error("Schemble TM DMR should be below Original")
+	}
+	if get("Schemble", 1) < get("Schemble(ea)", 1)-2 {
+		t.Error("Schemble should not trail Schemble(ea) on TM accuracy")
+	}
+	// Across the other two tasks Schemble stays ahead of Original too.
+	if get("Schemble", 3) <= get("Original", 3) {
+		t.Error("Schemble VC accuracy should beat Original")
+	}
+	if get("Schemble", 5) <= get("Original", 5) {
+		t.Error("Schemble IR mAP should beat Original")
+	}
+}
+
+func TestTable2ForcedLatency(t *testing.T) {
+	tab := Table2(env(t))
+	// Text matching rows come first.
+	tmRows := findRows(tab, 0, "text matching")
+	if len(tmRows) != len(Baselines) {
+		t.Fatalf("tm rows = %d", len(tmRows))
+	}
+	var origMean, schMean float64
+	for _, r := range tmRows {
+		switch tab.Rows[r][1] {
+		case "Original":
+			origMean = cell(t, tab, r, 3)
+		case "Schemble":
+			schMean = cell(t, tab, r, 3)
+		}
+	}
+	if schMean >= origMean {
+		t.Errorf("forced mean latency: Schemble %v should be far below Original %v", schMean, origMean)
+	}
+}
+
+func TestFig12DPBeatsGreedy(t *testing.T) {
+	tab := Fig12(env(t))
+	// At the loosest deadline, DP(0.01) accuracy should be at least that
+	// of every greedy variant.
+	last := tab.Rows[len(tab.Rows)-1][0]
+	rows := findRows(tab, 0, last)
+	accOf := map[string]float64{}
+	for _, r := range rows {
+		accOf[tab.Rows[r][1]] = cell(t, tab, r, 2)
+	}
+	dp := accOf["DP(0.01)"]
+	for _, g := range []string{"Greedy+FIFO", "Greedy+SJF"} {
+		if dp < accOf[g]-1.5 {
+			t.Errorf("DP(0.01) acc %v trails %s %v", dp, g, accOf[g])
+		}
+	}
+}
+
+func TestFig16OracleDominates(t *testing.T) {
+	tab := Fig16(env(t))
+	for i := range tab.Rows {
+		random := cell(t, tab, i, 1)
+		sch := cell(t, tab, i, 4)
+		oracle := cell(t, tab, i, 5)
+		if oracle < sch-3 {
+			t.Errorf("row %d: oracle %v should not trail Schemble* %v", i, oracle, sch)
+		}
+		if sch < random-1 {
+			t.Errorf("row %d: Schemble* %v should not trail random %v", i, sch, random)
+		}
+	}
+	// At the largest budget Schemble* must clearly beat random.
+	last := len(tab.Rows) - 1
+	if cell(t, tab, last, 4) <= cell(t, tab, last, 1) {
+		t.Error("Schemble* should beat random at generous budgets")
+	}
+}
+
+func TestFig20aSmallMSE(t *testing.T) {
+	tab := Fig20a(env(t))
+	for i := range tab.Rows {
+		if mse := cell(t, tab, i, 1); mse > 0.01 {
+			t.Errorf("size %s: estimation MSE %v too large", tab.Rows[i][0], mse)
+		}
+	}
+}
+
+func TestFig20bRobustToK(t *testing.T) {
+	tab := Fig20b(env(t))
+	min, max := 101.0, -1.0
+	for i := range tab.Rows {
+		v := cell(t, tab, i, 1)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min > 6 {
+		t.Errorf("stacking accuracy should be robust to k: spread %v", max-min)
+	}
+	if min < 75 {
+		t.Errorf("stacking accuracy %v too low even at worst k", min)
+	}
+}
+
+func TestAblPrunePlansEquallyGood(t *testing.T) {
+	tab := AblPrune(env(t))
+	pruned := cell(t, tab, 0, 1)
+	unpruned := cell(t, tab, 1, 1)
+	if pruned < unpruned-2 {
+		t.Errorf("pruned DP accuracy %v should not trail the capped unpruned variant %v", pruned, unpruned)
+	}
+}
+
+func TestAblBufferSchedulerWins(t *testing.T) {
+	tab := AblBuffer(env(t))
+	buffered := cell(t, tab, 0, 1)
+	immediate := cell(t, tab, 1, 1)
+	if buffered < immediate-1 {
+		t.Errorf("buffered Schemble %v should not trail immediate selection %v", buffered, immediate)
+	}
+}
+
+func TestAblCalibNormalizationDominates(t *testing.T) {
+	tab := AblCalib(env(t))
+	// Rows: (calibrated,ecdf), (calibrated,raw), (uncalib,ecdf), (uncalib,raw).
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	calECDF, calRaw := cell(t, tab, 0, 2), cell(t, tab, 1, 2)
+	unECDF, unRaw := cell(t, tab, 2, 2), cell(t, tab, 3, 2)
+	if calECDF <= calRaw || unECDF <= unRaw {
+		t.Errorf("ECDF normalization should dominate raw distances: %v/%v vs %v/%v",
+			calECDF, calRaw, unECDF, unRaw)
+	}
+	for _, v := range []float64{calECDF, calRaw, unECDF, unRaw} {
+		if v <= 0.1 {
+			t.Errorf("score variant lost the difficulty signal: %v", v)
+		}
+	}
+}
+
+func TestFig13OverheadSmall(t *testing.T) {
+	tab := Fig13(env(t))
+	for i := range tab.Rows {
+		if latPct := cell(t, tab, i, 3); latPct > 15 {
+			t.Errorf("predictor latency share %v%% too large", latPct)
+		}
+		if memPct := cell(t, tab, i, 6); memPct > 10 {
+			t.Errorf("predictor memory share %v%% too large", memPct)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"hello"},
+	}
+	tab.AddRow("1", "2")
+	out := tab.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDPOverheadModel(t *testing.T) {
+	small := DPOverhead(0.1)(16)
+	big := DPOverhead(0.001)(16)
+	if big <= small {
+		t.Errorf("finer delta must cost more: %v vs %v", small, big)
+	}
+	if big < time.Millisecond {
+		t.Errorf("delta=0.001 overhead %v should be substantial", big)
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	tab, err := Run(env(t), "fig4a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "fig4a" || len(tab.Rows) == 0 {
+		t.Error("Run(fig4a) returned an empty table")
+	}
+	if _, err := Run(env(t), "bogus"); err == nil {
+		t.Error("Run of unknown id should fail")
+	}
+}
+
+// Smoke-run the remaining registered experiments so every table renders.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long smoke test")
+	}
+	e := env(t)
+	heavy := map[string]bool{}
+	for _, s := range All {
+		if heavy[s.ID] {
+			continue
+		}
+		tab := s.Run(e)
+		if tab == nil || tab.ID == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+			t.Errorf("experiment %s produced an empty table", s.ID)
+		}
+	}
+	_ = metrics.Summary{}
+}
+
+func TestAblFastPathTrimsLatency(t *testing.T) {
+	tab := AblFastPath(env(t))
+	buffered := cell(t, tab, 0, 2)
+	fast := cell(t, tab, 1, 2)
+	if fast >= buffered {
+		t.Errorf("fast path mean latency %vms should be below buffered %vms", fast, buffered)
+	}
+	// Accuracy cost of the bypass must be bounded: light traffic means
+	// almost everything takes the fast path, so accuracy approaches the
+	// fastest model's agreement (~90%), not collapse.
+	if acc := cell(t, tab, 1, 1); acc < 80 {
+		t.Errorf("fast-path accuracy %v too low", acc)
+	}
+}
+
+func TestTableJSONAndCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	blob, err := tab.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"x"`, `"rows":[["1","2"]]`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("JSON missing %s: %s", want, blob)
+		}
+	}
+	var csvBuf strings.Builder
+	if err := tab.FprintCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", csvBuf.String())
+	}
+}
+
+func TestAblBatchSchembleWins(t *testing.T) {
+	tab := AblBatch(env(t))
+	schemble := cell(t, tab, len(tab.Rows)-1, 1)
+	for i := 0; i < len(tab.Rows)-1; i++ {
+		if batched := cell(t, tab, i, 1); schemble <= batched {
+			t.Errorf("Schemble (%v) should beat %s (%v) under deadlines",
+				schemble, tab.Rows[i][0], batched)
+		}
+	}
+}
+
+func TestAblTrafficRobust(t *testing.T) {
+	tab := AblTraffic(env(t))
+	// Rows alternate Original/Schemble per traffic model.
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		orig := cell(t, tab, i, 2)
+		sch := cell(t, tab, i+1, 2)
+		if sch <= orig {
+			t.Errorf("%s: Schemble acc %v should beat Original %v", tab.Rows[i][0], sch, orig)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec registers one reproducible experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(*Env) *Table
+}
+
+// All lists every experiment in paper order, then ablations.
+var All = []Spec{
+	{"fig1a", "One-day traffic and miss rate of the original ensemble", Fig1a},
+	{"fig1b", "Base models vs ensemble performance", Fig1b},
+	{"fig4a", "Discrepancy-score distributions", Fig4a},
+	{"fig4b", "Per-bin subset accuracy", Fig4b},
+	{"fig5", "Preference instability vs discrepancy stability", Fig5},
+	{"fig6", "Text matching: accuracy/DMR vs deadline", Fig6},
+	{"fig7", "Vehicle counting: accuracy/DMR vs deadline", Fig7},
+	{"fig8", "Image retrieval: mAP/DMR vs deadline", Fig8},
+	{"tab1", "Average accuracy and DMR across deadlines", Table1},
+	{"tab2", "Forced processing: accuracy and latency", Table2},
+	{"fig9", "Per-hour latency and accuracy on the one-day trace", Fig9},
+	{"fig10", "Shifted difficulty distributions", Fig10},
+	{"fig11", "Accuracy-latency tradeoff objective (text matching)", Fig11},
+	{"fig12", "Scheduling algorithms (text matching)", Fig12},
+	{"fig13", "Predictor overhead", Fig13},
+	{"fig14", "Per-hour accuracy and DMR on the one-day trace", Fig14},
+	{"fig15", "Tradeoff objectives (vehicle counting, image retrieval)", Fig15},
+	{"fig16", "Offline runtime budgets", Fig16},
+	{"fig17", "Scheduling algorithms (vehicle counting)", Fig17},
+	{"fig18", "Scheduling algorithms (image retrieval)", Fig18},
+	{"fig19", "Scheduling algorithms on the bursty window", Fig19},
+	{"fig20a", "Marginal-reward estimation error", Fig20a},
+	{"fig20b", "KNN filling robustness", Fig20b},
+	{"fig21", "Quantization step delta sweep", Fig21},
+	{"abl-prune", "DP Pareto pruning ablation", AblPrune},
+	{"abl-buffer", "Query buffer / scheduler ablation", AblBuffer},
+	{"abl-calib", "Temperature scaling ablation", AblCalib},
+	{"abl-fastpath", "Fast-path dispatch for idle arrivals", AblFastPath},
+	{"abl-traffic", "Traffic-model robustness", AblTraffic},
+	{"abl-batch", "Batching vs per-query scheduling", AblBatch},
+	{"abl-fill", "Missing-value filling ablation", AblFill},
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, len(All))
+	for i, s := range All {
+		ids[i] = s.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Spec, error) {
+	for _, s := range All {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+}
+
+// Run executes one experiment by id.
+func Run(e *Env, id string) (*Table, error) {
+	spec, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(e), nil
+}

@@ -1,0 +1,225 @@
+// Package gbdt implements gradient-boosted regression trees from scratch.
+// It stands in for XGBoost as the stacking aggregation module of the text
+// matching ensemble: depth-limited CART regression trees fit to gradients,
+// with squared-error mode for regression and logistic mode for binary
+// classification.
+package gbdt
+
+import (
+	"math"
+	"sort"
+
+	"schemble/internal/mathx"
+)
+
+// Objective selects the boosting loss.
+type Objective int
+
+// Supported objectives.
+const (
+	// SquaredError boosts toward the raw targets; Predict returns the
+	// accumulated score directly.
+	SquaredError Objective = iota
+	// Logistic boosts log-odds for binary targets in {0,1}; Predict
+	// returns a probability.
+	Logistic
+)
+
+// Config controls training.
+type Config struct {
+	Objective    Objective
+	NumTrees     int
+	MaxDepth     int
+	LearningRate float64
+	// MinSamplesLeaf bounds leaf size; defaults to 2.
+	MinSamplesLeaf int
+}
+
+func (c *Config) fill() {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 2
+	}
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	value       float64
+	left, right *node
+}
+
+func (n *node) predict(x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	cfg   Config
+	base  float64
+	trees []*node
+}
+
+// Train fits a boosted tree model on xs/ys. For Logistic, ys must be 0/1.
+func Train(cfg Config, xs [][]float64, ys []float64) *Model {
+	cfg.fill()
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("gbdt: empty or mismatched training data")
+	}
+	m := &Model{cfg: cfg}
+	// Initial score: mean for squared error, log-odds of the base rate for
+	// logistic.
+	switch cfg.Objective {
+	case SquaredError:
+		m.base = mathx.Mean(ys)
+	case Logistic:
+		p := mathx.Clamp(mathx.Mean(ys), 1e-6, 1-1e-6)
+		m.base = math.Log(p / (1 - p))
+	}
+	scores := make([]float64, len(ys))
+	for i := range scores {
+		scores[i] = m.base
+	}
+	grad := make([]float64, len(ys))
+	idx := make([]int, len(ys))
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Negative gradient (residual) of the loss.
+		switch cfg.Objective {
+		case SquaredError:
+			for i := range ys {
+				grad[i] = ys[i] - scores[i]
+			}
+		case Logistic:
+			for i := range ys {
+				grad[i] = ys[i] - mathx.Sigmoid(scores[i])
+			}
+		}
+		tree := buildTree(cfg, xs, grad, idx, cfg.MaxDepth)
+		m.trees = append(m.trees, tree)
+		for i := range scores {
+			scores[i] += cfg.LearningRate * tree.predict(xs[i])
+		}
+	}
+	return m
+}
+
+// buildTree fits one regression tree to targets over rows idx.
+func buildTree(cfg Config, xs [][]float64, targets []float64, idx []int, depth int) *node {
+	leafValue := func(rows []int) float64 {
+		var s float64
+		for _, r := range rows {
+			s += targets[r]
+		}
+		return s / float64(len(rows))
+	}
+	if depth == 0 || len(idx) < 2*cfg.MinSamplesLeaf {
+		return &node{feature: -1, value: leafValue(idx)}
+	}
+	feature, threshold, gain := bestSplit(cfg, xs, targets, idx)
+	if gain <= 1e-12 {
+		return &node{feature: -1, value: leafValue(idx)}
+	}
+	var left, right []int
+	for _, r := range idx {
+		if xs[r][feature] <= threshold {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < cfg.MinSamplesLeaf || len(right) < cfg.MinSamplesLeaf {
+		return &node{feature: -1, value: leafValue(idx)}
+	}
+	return &node{
+		feature:   feature,
+		threshold: threshold,
+		left:      buildTree(cfg, xs, targets, left, depth-1),
+		right:     buildTree(cfg, xs, targets, right, depth-1),
+	}
+}
+
+// bestSplit scans all features for the variance-reducing split with the
+// largest gain. Returns gain <= 0 when no valid split exists.
+func bestSplit(cfg Config, xs [][]float64, targets []float64, idx []int) (feature int, threshold, gain float64) {
+	nf := len(xs[idx[0]])
+	var totalSum, totalSq float64
+	for _, r := range idx {
+		totalSum += targets[r]
+		totalSq += targets[r] * targets[r]
+	}
+	n := float64(len(idx))
+	parentSSE := totalSq - totalSum*totalSum/n
+
+	feature = -1
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, len(idx))
+	for f := 0; f < nf; f++ {
+		for i, r := range idx {
+			pairs[i] = pair{xs[r][f], targets[r]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].x < pairs[j].x })
+		var leftSum, leftSq float64
+		for i := 0; i < len(pairs)-1; i++ {
+			leftSum += pairs[i].y
+			leftSq += pairs[i].y * pairs[i].y
+			if pairs[i].x == pairs[i+1].x {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			if int(nl) < cfg.MinSamplesLeaf || int(nr) < cfg.MinSamplesLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/nl) + (rightSq - rightSum*rightSum/nr)
+			if g := parentSSE - sse; g > gain {
+				gain = g
+				feature = f
+				threshold = 0.5 * (pairs[i].x + pairs[i+1].x)
+			}
+		}
+	}
+	return feature, threshold, gain
+}
+
+// Score returns the raw boosted score for x (log-odds under Logistic).
+func (m *Model) Score(x []float64) float64 {
+	s := m.base
+	for _, t := range m.trees {
+		s += m.cfg.LearningRate * t.predict(x)
+	}
+	return s
+}
+
+// Predict returns the model's prediction: the raw score for SquaredError,
+// a probability for Logistic.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.Score(x)
+	if m.cfg.Objective == Logistic {
+		return mathx.Sigmoid(s)
+	}
+	return s
+}
+
+// NumTrees reports how many trees were fit.
+func (m *Model) NumTrees() int { return len(m.trees) }

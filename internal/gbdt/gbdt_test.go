@@ -1,0 +1,142 @@
+package gbdt
+
+import (
+	"math"
+	"testing"
+
+	"schemble/internal/rng"
+)
+
+func TestRegressionFitsNonlinear(t *testing.T) {
+	src := rng.New(1)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		x := src.Uniform(-3, 3)
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(x)+0.1*src.Normal(0, 1))
+	}
+	m := Train(Config{Objective: SquaredError, NumTrees: 200, MaxDepth: 3, LearningRate: 0.1}, xs, ys)
+	var sse float64
+	for i := 0; i < 100; i++ {
+		x := -3 + 6*float64(i)/99
+		d := m.Predict([]float64{x}) - math.Sin(x)
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / 100); rmse > 0.15 {
+		t.Errorf("sin RMSE = %v, want < 0.15", rmse)
+	}
+}
+
+func TestLogisticSeparates(t *testing.T) {
+	src := rng.New(2)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		x1 := src.Normal(0, 1)
+		x2 := src.Normal(0, 1)
+		label := 0.0
+		// XOR-like pattern: needs tree interactions, linear can't do it.
+		if (x1 > 0) != (x2 > 0) {
+			label = 1
+		}
+		xs = append(xs, []float64{x1, x2})
+		ys = append(ys, label)
+	}
+	m := Train(Config{Objective: Logistic, NumTrees: 100, MaxDepth: 3, LearningRate: 0.2}, xs, ys)
+	correct := 0
+	for i := range xs {
+		p := m.Predict(xs[i])
+		if (p > 0.5) == (ys[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.95 {
+		t.Errorf("XOR accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestLogisticOutputsProbabilities(t *testing.T) {
+	src := rng.New(3)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := src.Normal(0, 1)
+		xs = append(xs, []float64{x})
+		label := 0.0
+		if x > 0 {
+			label = 1
+		}
+		ys = append(ys, label)
+	}
+	m := Train(Config{Objective: Logistic, NumTrees: 30}, xs, ys)
+	for _, x := range xs {
+		p := m.Predict(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{5, 5, 5, 5}
+	m := Train(Config{Objective: SquaredError, NumTrees: 10}, xs, ys)
+	if got := m.Predict([]float64{2.5}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("constant prediction = %v, want 5", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := rng.New(4)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x := src.Normal(0, 1)
+		xs = append(xs, []float64{x, x * x})
+		ys = append(ys, x*2+1)
+	}
+	a := Train(Config{NumTrees: 20}, xs, ys)
+	b := Train(Config{NumTrees: 20}, xs, ys)
+	for i := 0; i < 10; i++ {
+		x := []float64{float64(i), float64(i * i)}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestNumTreesAndPanics(t *testing.T) {
+	m := Train(Config{NumTrees: 7}, [][]float64{{0}, {1}, {2}, {3}}, []float64{0, 1, 2, 3})
+	if m.NumTrees() != 7 {
+		t.Errorf("NumTrees = %d, want 7", m.NumTrees())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty training set did not panic")
+		}
+	}()
+	Train(Config{}, nil, nil)
+}
+
+func TestDepthOneIsStump(t *testing.T) {
+	// Depth-1 trees can fit a single-threshold step function exactly.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		xs = append(xs, []float64{x})
+		if x < 50 {
+			ys = append(ys, 0)
+		} else {
+			ys = append(ys, 10)
+		}
+	}
+	m := Train(Config{Objective: SquaredError, NumTrees: 50, MaxDepth: 1, LearningRate: 0.5}, xs, ys)
+	if p := m.Predict([]float64{10}); math.Abs(p) > 0.5 {
+		t.Errorf("low side = %v, want ~0", p)
+	}
+	if p := m.Predict([]float64{90}); math.Abs(p-10) > 0.5 {
+		t.Errorf("high side = %v, want ~10", p)
+	}
+}

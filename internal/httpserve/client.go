@@ -1,0 +1,89 @@
+package httpserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a typed client for the Schemble HTTP API.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("httpserve client: marshal: %w", err)
+	}
+	r, err := c.HTTPClient.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpserve client: %w", err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("httpserve client: %s: %s", r.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+func (c *Client) get(path string, resp interface{}) error {
+	r, err := c.HTTPClient.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("httpserve client: %w", err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("httpserve client: %s", r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// Predict submits one inference request.
+func (c *Client) Predict(sampleID int, deadline time.Duration) (PredictResponse, error) {
+	var resp PredictResponse
+	err := c.post("/v1/predict", PredictRequest{
+		SampleID:   sampleID,
+		DeadlineMS: float64(deadline) / float64(time.Millisecond),
+	}, &resp)
+	return resp, err
+}
+
+// Difficulty estimates the discrepancy score for raw features.
+func (c *Client) Difficulty(features []float64) (float64, error) {
+	var resp DifficultyResponse
+	err := c.post("/v1/difficulty", DifficultyRequest{Features: features}, &resp)
+	return resp.Score, err
+}
+
+// Stats fetches the running counters.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.get("/v1/stats", &st)
+	return st, err
+}
+
+// Healthy reports whether the server answers its health check.
+func (c *Client) Healthy() bool {
+	r, err := c.HTTPClient.Get(c.BaseURL + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	r.Body.Close()
+	return r.StatusCode == http.StatusOK
+}

@@ -1,0 +1,214 @@
+// Package httpserve exposes a fitted Schemble deployment over HTTP with a
+// small JSON API, the transport stand-in for the paper's "queries are sent
+// to the server through RPC":
+//
+//	POST /v1/predict    {"sample_id": 17, "deadline_ms": 150}
+//	                 -> {"probs": [...], "subset": [0,2], "latency_ms": 93.1}
+//	POST /v1/difficulty {"features": [ ... ]}
+//	                 -> {"score": 0.34}
+//	GET  /v1/stats      -> served/missed counters and mean subset size
+//	GET  /v1/healthz    -> 200 "ok"
+//
+// Requests reference samples by ID in the deployment's serving pool (the
+// simulator owns the inputs; a production system would carry the payload
+// itself). The handler drives the concurrent serve.Server underneath, so
+// HTTP requests experience real scheduling, queueing and deadlines.
+package httpserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/discrepancy"
+	"schemble/internal/serve"
+)
+
+// PredictRequest asks for one ensemble inference.
+type PredictRequest struct {
+	// SampleID selects the input from the serving pool.
+	SampleID int `json:"sample_id"`
+	// DeadlineMS is the relative deadline in (virtual) milliseconds.
+	DeadlineMS float64 `json:"deadline_ms"`
+}
+
+// PredictResponse is the inference outcome.
+type PredictResponse struct {
+	Missed    bool      `json:"missed"`
+	Probs     []float64 `json:"probs,omitempty"`
+	Value     float64   `json:"value,omitempty"`
+	Subset    []int     `json:"subset,omitempty"`
+	LatencyMS float64   `json:"latency_ms"`
+}
+
+// DifficultyRequest asks for a discrepancy-score estimate from raw
+// features.
+type DifficultyRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// DifficultyResponse carries the estimate.
+type DifficultyResponse struct {
+	Score float64 `json:"score"`
+}
+
+// Stats is the running counters snapshot.
+type Stats struct {
+	Served         int     `json:"served"`
+	Missed         int     `json:"missed"`
+	MeanSubsetSize float64 `json:"mean_subset_size"`
+	MeanLatencyMS  float64 `json:"mean_latency_ms"`
+}
+
+// Handler serves the API. Construct with New, wire into any http.Server,
+// and Close when done.
+type Handler struct {
+	srv       *serve.Server
+	estimator discrepancy.ScoreEstimator
+	pool      []*dataset.Sample
+	byID      map[int]*dataset.Sample
+	featDim   int
+	cancel    context.CancelFunc
+
+	mux sync.Mutex
+	st  struct {
+		served, missed int
+		sizeSum        int
+		latSum         time.Duration
+	}
+}
+
+// Config configures New.
+type Config struct {
+	// Server is the started-or-startable concurrent runtime.
+	Server *serve.Server
+	// Estimator answers /v1/difficulty (optional).
+	Estimator discrepancy.ScoreEstimator
+	// Pool is the serving pool /v1/predict draws samples from.
+	Pool []*dataset.Sample
+}
+
+// New builds the handler and starts the underlying server.
+func New(cfg Config) *Handler {
+	if cfg.Server == nil || len(cfg.Pool) == 0 {
+		panic("httpserve: Server and Pool are required")
+	}
+	h := &Handler{
+		srv:       cfg.Server,
+		estimator: cfg.Estimator,
+		pool:      cfg.Pool,
+		byID:      make(map[int]*dataset.Sample, len(cfg.Pool)),
+		featDim:   len(cfg.Pool[0].Features),
+	}
+	for _, s := range cfg.Pool {
+		h.byID[s.ID] = s
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	h.srv.Start(ctx)
+	return h
+}
+
+// Close shuts the underlying server down.
+func (h *Handler) Close() {
+	h.cancel()
+	h.srv.Stop()
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/healthz" && r.Method == http.MethodGet:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/v1/predict" && r.Method == http.MethodPost:
+		h.handlePredict(w, r)
+	case r.URL.Path == "/v1/difficulty" && r.Method == http.MethodPost:
+		h.handleDifficulty(w, r)
+	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
+		h.handleStats(w)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sample, ok := h.byID[req.SampleID]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown sample id %d", req.SampleID), http.StatusNotFound)
+		return
+	}
+	if req.DeadlineMS <= 0 {
+		http.Error(w, "deadline_ms must be positive", http.StatusBadRequest)
+		return
+	}
+	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	res := <-h.srv.Submit(sample, deadline)
+
+	h.mux.Lock()
+	if res.Missed {
+		h.st.missed++
+	} else {
+		h.st.served++
+		h.st.sizeSum += res.Subset.Size()
+		h.st.latSum += res.Latency
+	}
+	h.mux.Unlock()
+
+	resp := PredictResponse{
+		Missed:    res.Missed,
+		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+	}
+	if !res.Missed {
+		resp.Probs = res.Output.Probs
+		resp.Value = res.Output.Value
+		resp.Subset = res.Subset.Models()
+	}
+	writeJSON(w, resp)
+}
+
+func (h *Handler) handleDifficulty(w http.ResponseWriter, r *http.Request) {
+	if h.estimator == nil {
+		http.Error(w, "no estimator configured", http.StatusNotImplemented)
+		return
+	}
+	var req DifficultyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Features) != h.featDim {
+		http.Error(w, fmt.Sprintf("features must have dimension %d", h.featDim), http.StatusBadRequest)
+		return
+	}
+	score := h.estimator.Predict(&dataset.Sample{Features: req.Features})
+	writeJSON(w, DifficultyResponse{Score: score})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter) {
+	h.mux.Lock()
+	st := h.st
+	h.mux.Unlock()
+	out := Stats{Served: st.served, Missed: st.missed}
+	if st.served > 0 {
+		out.MeanSubsetSize = float64(st.sizeSum) / float64(st.served)
+		out.MeanLatencyMS = float64(st.latSum) / float64(st.served) / float64(time.Millisecond)
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,174 @@
+package httpserve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/model"
+	"schemble/internal/pipeline"
+	"schemble/internal/serve"
+)
+
+var (
+	artOnce sync.Once
+	art     *pipeline.Artifacts
+)
+
+func artifacts(t *testing.T) *pipeline.Artifacts {
+	t.Helper()
+	artOnce.Do(func() {
+		ds := dataset.TextMatching(dataset.Config{N: 900, Seed: 88})
+		art = pipeline.Build(pipeline.Config{
+			Dataset: ds, Models: model.TextMatchingModels(88),
+			PredictorEpochs: 15, Seed: 88,
+		})
+	})
+	return art
+}
+
+// startServer spins up the full HTTP stack over an httptest server.
+func startServer(t *testing.T) (*Client, *Handler, *pipeline.Artifacts) {
+	t.Helper()
+	a := artifacts(t)
+	h := New(Config{
+		Server: serve.New(serve.Config{
+			Ensemble:  a.Ensemble,
+			Scheduler: &core.DP{Delta: 0.01},
+			Rewarder:  a.Profile,
+			Estimator: a.Predictor,
+			TimeScale: 0.05,
+			Seed:      1,
+		}),
+		Estimator: a.Predictor,
+		Pool:      a.Serve,
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		h.Close()
+	})
+	return NewClient(ts.URL), h, a
+}
+
+func TestPredictEndToEnd(t *testing.T) {
+	c, _, a := startServer(t)
+	if !c.Healthy() {
+		t.Fatal("health check failed")
+	}
+	s := a.Serve[3]
+	resp, err := c.Predict(s.ID, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Missed {
+		t.Fatal("uncontended request missed")
+	}
+	if len(resp.Probs) != 2 {
+		t.Fatalf("probs = %v", resp.Probs)
+	}
+	if len(resp.Subset) == 0 {
+		t.Error("no subset reported")
+	}
+	if resp.LatencyMS <= 0 {
+		t.Error("no latency reported")
+	}
+}
+
+func TestDifficultyEndpoint(t *testing.T) {
+	c, _, a := startServer(t)
+	score, err := c.Difficulty(a.Serve[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 || score > 1 {
+		t.Errorf("score out of range: %v", score)
+	}
+	want := a.Predictor.Predict(a.Serve[0])
+	if score != want {
+		t.Errorf("endpoint score %v != direct prediction %v", score, want)
+	}
+	// Wrong dimension is rejected.
+	if _, err := c.Difficulty([]float64{1, 2}); err == nil ||
+		!strings.Contains(err.Error(), "dimension") {
+		t.Errorf("dimension mismatch not rejected: %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c, _, a := startServer(t)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Predict(a.Serve[i].ID, 500*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served+st.Missed != 5 {
+		t.Errorf("stats count %d+%d, want 5", st.Served, st.Missed)
+	}
+	if st.Served > 0 && (st.MeanSubsetSize < 1 || st.MeanLatencyMS <= 0) {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	c, _, _ := startServer(t)
+	if _, err := c.Predict(999999, 100*time.Millisecond); err == nil {
+		t.Error("unknown sample not rejected")
+	}
+	if _, err := c.Predict(0, -5*time.Millisecond); err == nil {
+		t.Error("negative deadline not rejected")
+	}
+	// Unknown path.
+	r, err := c.HTTPClient.Get(c.BaseURL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 404 {
+		t.Errorf("unknown path status %d", r.StatusCode)
+	}
+	// Wrong method.
+	r, err = c.HTTPClient.Get(c.BaseURL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != 404 {
+		t.Errorf("GET predict status %d", r.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _, a := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Predict(a.Serve[i%10].ID, time.Second); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served+st.Missed != 20 {
+		t.Errorf("served %d + missed %d, want 20", st.Served, st.Missed)
+	}
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+// recordJSON is the wire form of a Record: durations in microseconds, the
+// subset as a model-index list.
+type recordJSON struct {
+	QueryID    int     `json:"query_id"`
+	SampleID   int     `json:"sample_id"`
+	CameraID   int     `json:"camera_id,omitempty"`
+	ArrivalUS  int64   `json:"arrival_us"`
+	DeadlineUS int64   `json:"deadline_us"`
+	DoneUS     int64   `json:"done_us,omitempty"`
+	Missed     bool    `json:"missed"`
+	Agreement  float64 `json:"agreement"`
+	Subset     []int   `json:"subset,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recordJSON{
+		QueryID:    r.QueryID,
+		SampleID:   r.SampleID,
+		CameraID:   r.CameraID,
+		ArrivalUS:  r.Arrival.Microseconds(),
+		DeadlineUS: r.Deadline.Microseconds(),
+		DoneUS:     r.Done.Microseconds(),
+		Missed:     r.Missed,
+		Agreement:  r.Agreement,
+		Subset:     r.Subset.Models(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var w recordJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	r.QueryID = w.QueryID
+	r.SampleID = w.SampleID
+	r.CameraID = w.CameraID
+	r.Arrival = time.Duration(w.ArrivalUS) * time.Microsecond
+	r.Deadline = time.Duration(w.DeadlineUS) * time.Microsecond
+	r.Done = time.Duration(w.DoneUS) * time.Microsecond
+	r.Missed = w.Missed
+	r.Agreement = w.Agreement
+	r.Subset = ensemble.Empty
+	for _, k := range w.Subset {
+		r.Subset = r.Subset.With(k)
+	}
+	return nil
+}
+
+// WriteJSONL streams records to w as one JSON object per line — the
+// serving-session log format cmd/schemble-analyze consumes.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(recs[i]); err != nil {
+			return fmt.Errorf("metrics: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: read: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+const ms = time.Millisecond
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Arrival: 0, Done: 50 * ms, Agreement: 1, Subset: ensemble.Full(2)},
+		{Arrival: 10 * ms, Done: 110 * ms, Agreement: 0, Subset: ensemble.Single(0)},
+		{Arrival: 20 * ms, Missed: true},
+		{Arrival: 30 * ms, Done: 40 * ms, Agreement: 1, Subset: ensemble.Single(1)},
+	}
+	s := Summarize(recs)
+	if s.N != 4 || s.Missed != 1 {
+		t.Fatalf("N=%d missed=%d", s.N, s.Missed)
+	}
+	if math.Abs(s.Accuracy-0.5) > 1e-12 { // 2 agreements over 4 queries
+		t.Errorf("Accuracy = %v", s.Accuracy)
+	}
+	if math.Abs(s.DMR-0.25) > 1e-12 {
+		t.Errorf("DMR = %v", s.DMR)
+	}
+	if math.Abs(s.Processed-2.0/3) > 1e-12 {
+		t.Errorf("Processed = %v", s.Processed)
+	}
+	// Latencies: 50, 100, 10ms -> mean 53.33ms, max 100ms.
+	if s.LatMax != 100*ms {
+		t.Errorf("LatMax = %v", s.LatMax)
+	}
+	total := 160 * ms
+	wantMean := total / 3
+	if d := s.LatMean - wantMean; d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("LatMean = %v, want %v", s.LatMean, wantMean)
+	}
+	if math.Abs(s.MeanSubsetSize-4.0/3) > 1e-12 {
+		t.Errorf("MeanSubsetSize = %v", s.MeanSubsetSize)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Accuracy != 0 || s.DMR != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeAllMissed(t *testing.T) {
+	recs := []Record{{Missed: true}, {Missed: true}}
+	s := Summarize(recs)
+	if s.DMR != 1 || s.Accuracy != 0 || s.LatMean != 0 {
+		t.Errorf("all-missed summary = %+v", s)
+	}
+}
+
+func TestRecordLatency(t *testing.T) {
+	r := Record{Arrival: 10 * ms, Done: 35 * ms}
+	if r.Latency() != 25*ms {
+		t.Errorf("Latency = %v", r.Latency())
+	}
+	if (Record{Missed: true}).Latency() != 0 {
+		t.Error("missed latency should be 0")
+	}
+}
+
+func TestObjective(t *testing.T) {
+	// c = 100*acc - lambda*lat(s)
+	got := Objective(0.9, 2*time.Second, 5)
+	if math.Abs(got-80) > 1e-9 {
+		t.Errorf("Objective = %v, want 80", got)
+	}
+	// Higher lambda penalizes latency more.
+	if Objective(0.9, 2*time.Second, 10) >= got {
+		t.Error("lambda should penalize latency")
+	}
+}
+
+func TestSegment(t *testing.T) {
+	recs := []Record{
+		{Arrival: 5 * ms, Done: 10 * ms, Agreement: 1},
+		{Arrival: 15 * ms, Missed: true},
+		{Arrival: 25 * ms, Done: 30 * ms, Agreement: 1},
+	}
+	segs := Segment(recs, 10*ms, 30*ms)
+	if len(segs) != 4 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if segs[0].N != 1 || segs[0].Accuracy != 1 {
+		t.Errorf("segment 0 = %+v", segs[0])
+	}
+	if segs[1].N != 1 || segs[1].DMR != 1 {
+		t.Errorf("segment 1 = %+v", segs[1])
+	}
+	if segs[3].N != 0 {
+		t.Errorf("segment 3 should be empty: %+v", segs[3])
+	}
+}
+
+func TestSegmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width did not panic")
+		}
+	}()
+	Segment(nil, 0, time.Second)
+}
+
+func TestSubsetHistogram(t *testing.T) {
+	recs := []Record{
+		{Subset: ensemble.Single(0)},
+		{Subset: ensemble.Single(0)},
+		{Subset: ensemble.Full(2)},
+		{Missed: true, Subset: ensemble.Empty},
+	}
+	h := SubsetHistogram(recs)
+	if h[ensemble.Single(0)] != 2 || h[ensemble.Full(2)] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	if _, ok := h[ensemble.Empty]; ok {
+		t.Error("missed queries must not be counted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{
+		{QueryID: 0, SampleID: 17, CameraID: 3, Arrival: 5 * ms,
+			Deadline: 105 * ms, Done: 80 * ms, Agreement: 1,
+			Subset: ensemble.Single(0).With(2)},
+		{QueryID: 1, SampleID: 4, Arrival: 6 * ms, Deadline: 106 * ms, Missed: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line not rejected")
+	}
+	recs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank lines should be skipped: %v %d", err, len(recs))
+	}
+}

@@ -1,0 +1,287 @@
+// Package model defines the base-model abstraction Schemble schedules over,
+// plus the Synthetic implementation that stands in for real DNNs.
+//
+// A Synthetic model never inspects raw inputs; its behaviour on a sample is
+// a deterministic function of (model identity, sample identity, latent
+// difficulty), which reproduces the observable properties the paper's
+// mechanisms depend on:
+//
+//   - heterogeneous accuracy: model skill s_k vs sample difficulty h gives
+//     P(correct) = sigmoid(kappa * (s_k - h) + b);
+//   - correlated errors: a shared per-sample noise term makes base models
+//     agree more than independence would predict, so ensembling gains are
+//     realistic and the discrepancy score carries signal;
+//   - miscalibration: reported confidences are sharpened by an
+//     overconfidence factor, so temperature scaling (calib) matters;
+//   - heterogeneous cost: per-model constant latency plus bounded jitter,
+//     and a memory footprint used by the static baseline's replica packing.
+//
+// Determinism matters: profiling, scheduling and serving must all observe
+// the *same* output for the same (model, sample) pair, exactly as a real
+// deployed network would produce. Outputs are therefore derived from a
+// counter-free hash of the two identities.
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/rng"
+)
+
+// Output is a base model's (or ensemble's) prediction for one sample.
+// Exactly one group of fields is populated depending on the task.
+type Output struct {
+	// Probs is the class distribution (classification).
+	Probs []float64
+	// Value is the point estimate (regression).
+	Value float64
+	// Embedding is the query embedding used for ranking (retrieval).
+	Embedding []float64
+}
+
+// Clone deep-copies the output.
+func (o Output) Clone() Output {
+	cp := Output{Value: o.Value}
+	if o.Probs != nil {
+		cp.Probs = append([]float64(nil), o.Probs...)
+	}
+	if o.Embedding != nil {
+		cp.Embedding = append([]float64(nil), o.Embedding...)
+	}
+	return cp
+}
+
+// Model is a deployable base model.
+type Model interface {
+	// Name identifies the model ("bert", "yolov5", ...).
+	Name() string
+	// Predict returns the model's output on s. Implementations must be
+	// deterministic: the same sample always yields the same output.
+	Predict(s *dataset.Sample) Output
+	// MeanLatency is the model's average inference time.
+	MeanLatency() time.Duration
+	// SampleLatency draws one inference time (mean + bounded jitter).
+	SampleLatency(src *rng.Source) time.Duration
+	// Memory is the deployed footprint in bytes, used for replica packing.
+	Memory() int64
+	// Skill is the model's intrinsic quality in [0,1].
+	Skill() float64
+}
+
+// Synthetic simulates one deep model. Construct with NewSynthetic.
+type Synthetic struct {
+	name    string
+	task    dataset.Task
+	classes int
+	embDim  int
+
+	skill     float64       // intrinsic quality in [0,1]
+	latency   time.Duration // mean inference time
+	jitter    float64       // latency jitter fraction (e.g. 0.08)
+	memory    int64         // bytes
+	overConf  float64       // >1 sharpens reported probabilities (miscalibration)
+	seed      uint64        // identity for deterministic outputs
+	sharedRho float64       // weight of the shared per-sample noise (error correlation)
+	kappa     float64       // difficulty sensitivity
+	bias      float64       // base accuracy offset
+	noise     float64       // regression noise scale
+}
+
+// SyntheticConfig configures NewSynthetic. Zero values get sensible
+// defaults (documented inline).
+type SyntheticConfig struct {
+	Name     string
+	Task     dataset.Task
+	Classes  int     // classification; default 2
+	EmbDim   int     // retrieval; default 16
+	Skill    float64 // [0,1]; default 0.8
+	Latency  time.Duration
+	Jitter   float64 // fraction of latency; default 0.06
+	MemoryMB int64   // default 500
+	OverConf float64 // default 2.2 (typical DNN overconfidence)
+	Seed     uint64
+
+	// SharedRho in [0,1] controls error correlation across models on the
+	// same sample (default 0.55).
+	SharedRho float64
+	// Kappa scales difficulty sensitivity (default 6).
+	Kappa float64
+	// Bias shifts base accuracy (default 1.2).
+	Bias float64
+	// Noise scales regression error (default 1.5).
+	Noise float64
+}
+
+// NewSynthetic builds a synthetic model.
+func NewSynthetic(cfg SyntheticConfig) *Synthetic {
+	m := &Synthetic{
+		name:      cfg.Name,
+		task:      cfg.Task,
+		classes:   cfg.Classes,
+		embDim:    cfg.EmbDim,
+		skill:     cfg.Skill,
+		latency:   cfg.Latency,
+		jitter:    cfg.Jitter,
+		memory:    cfg.MemoryMB * 1 << 20,
+		overConf:  cfg.OverConf,
+		seed:      cfg.Seed,
+		sharedRho: cfg.SharedRho,
+		kappa:     cfg.Kappa,
+		bias:      cfg.Bias,
+		noise:     cfg.Noise,
+	}
+	if m.classes <= 0 {
+		m.classes = 2
+	}
+	if m.embDim <= 0 {
+		m.embDim = 16
+	}
+	if m.skill == 0 {
+		m.skill = 0.8
+	}
+	if m.latency == 0 {
+		m.latency = 50 * time.Millisecond
+	}
+	if m.jitter == 0 {
+		m.jitter = 0.06
+	}
+	if m.memory == 0 {
+		m.memory = 500 << 20
+	}
+	if m.overConf == 0 {
+		m.overConf = 2.2
+	}
+	if m.sharedRho == 0 {
+		m.sharedRho = 0.55
+	}
+	if m.kappa == 0 {
+		m.kappa = 6
+	}
+	if m.bias == 0 {
+		m.bias = 0.3
+	}
+	if m.noise == 0 {
+		m.noise = 1.5
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *Synthetic) Name() string { return m.name }
+
+// Skill implements Model.
+func (m *Synthetic) Skill() float64 { return m.skill }
+
+// MeanLatency implements Model.
+func (m *Synthetic) MeanLatency() time.Duration { return m.latency }
+
+// SampleLatency implements Model: mean latency plus truncated-normal jitter
+// (never less than half the mean).
+func (m *Synthetic) SampleLatency(src *rng.Source) time.Duration {
+	f := 1 + m.jitter*src.Normal(0, 1)
+	if f < 0.5 {
+		f = 0.5
+	}
+	return time.Duration(float64(m.latency) * f)
+}
+
+// Memory implements Model.
+func (m *Synthetic) Memory() int64 { return m.memory }
+
+// sampleSource returns the deterministic RNG for this (model, sample) pair.
+func (m *Synthetic) sampleSource(s *dataset.Sample) *rng.Source {
+	return rng.New(m.seed*0x9e3779b97f4a7c15 + uint64(s.ID)*0x2545f4914f6cdd1d + 0x1234)
+}
+
+// sharedSource returns the RNG shared by all models for this sample; it
+// drives the correlated component of model errors.
+func sharedSource(s *dataset.Sample) *rng.Source {
+	return rng.New(uint64(s.ID)*0xda942042e4dd58b5 + 0x77)
+}
+
+// Predict implements Model.
+func (m *Synthetic) Predict(s *dataset.Sample) Output {
+	switch m.task {
+	case dataset.Classification:
+		return m.predictClass(s)
+	case dataset.Regression:
+		return m.predictValue(s)
+	case dataset.Retrieval:
+		return m.predictEmbedding(s)
+	default:
+		panic(fmt.Sprintf("model: unknown task %v", m.task))
+	}
+}
+
+// predictClass draws correctness from sigmoid(kappa*(skill-h)+bias+noise)
+// and emits a (miscalibrated) probability vector peaked at the predicted
+// class.
+func (m *Synthetic) predictClass(s *dataset.Sample) Output {
+	src := m.sampleSource(s)
+	shared := sharedSource(s)
+	z := m.sharedRho*shared.Normal(0, 1) + (1-m.sharedRho)*src.Normal(0, 1)
+	margin := m.kappa*(m.skill-s.Difficulty) + m.bias + 1.1*z
+	pCorrect := mathx.Sigmoid(margin)
+	correct := src.Bool(pCorrect)
+	pred := s.Label
+	if !correct {
+		// Pick a wrong class deterministically.
+		pred = src.Intn(m.classes - 1)
+		if pred >= s.Label {
+			pred++
+		}
+	}
+	// Confidence grows with |margin|; miscalibrate by sharpening.
+	conf := 0.5 + 0.5*mathx.Sigmoid(0.8*margin)
+	conf = mathx.Clamp(conf, 1/float64(m.classes)+0.05, 0.995)
+	probs := make([]float64, m.classes)
+	rest := (1 - conf) / float64(m.classes-1)
+	for c := range probs {
+		probs[c] = rest
+	}
+	probs[pred] = conf
+	// Sharpen: p^overConf renormalized (equivalent to T = 1/overConf).
+	for c := range probs {
+		probs[c] = math.Pow(probs[c], m.overConf)
+	}
+	mathx.Normalize(probs)
+	return Output{Probs: probs}
+}
+
+// predictValue estimates the regression target with noise scaled by
+// difficulty and (inverse) skill.
+func (m *Synthetic) predictValue(s *dataset.Sample) Output {
+	src := m.sampleSource(s)
+	shared := sharedSource(s)
+	z := m.sharedRho*shared.Normal(0, 1) + (1-m.sharedRho)*src.Normal(0, 1)
+	scale := m.noise * (1 - 0.75*m.skill) * (0.4 + 1.8*s.Difficulty)
+	v := s.Value + scale*z
+	if v < 0 {
+		v = 0
+	}
+	return Output{Value: v}
+}
+
+// predictEmbedding perturbs the true query embedding with difficulty- and
+// skill-dependent noise and renormalizes.
+func (m *Synthetic) predictEmbedding(s *dataset.Sample) Output {
+	src := m.sampleSource(s)
+	shared := sharedSource(s)
+	emb := make([]float64, len(s.Embedding))
+	scale := (1 - 0.8*m.skill) * (0.2 + 2.8*s.Difficulty)
+	for d := range emb {
+		z := m.sharedRho*shared.Normal(0, 1) + (1-m.sharedRho)*src.Normal(0, 1)
+		emb[d] = s.Embedding[d] + scale*z
+	}
+	n := mathx.Norm2(emb)
+	if n > 0 {
+		for d := range emb {
+			emb[d] /= n
+		}
+	}
+	return Output{Embedding: emb}
+}

@@ -1,0 +1,219 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/mathx"
+	"schemble/internal/rng"
+)
+
+func TestPredictDeterminism(t *testing.T) {
+	ds := dataset.TextMatching(dataset.Config{N: 50, Seed: 1})
+	m := TextMatchingModels(7)[0]
+	for _, s := range ds.Samples {
+		a := m.Predict(s)
+		b := m.Predict(s)
+		for c := range a.Probs {
+			if a.Probs[c] != b.Probs[c] {
+				t.Fatal("Predict is not deterministic")
+			}
+		}
+	}
+}
+
+func TestClassificationOutputsAreDistributions(t *testing.T) {
+	ds := dataset.TextMatching(dataset.Config{N: 200, Seed: 2})
+	for _, m := range TextMatchingModels(3) {
+		for _, s := range ds.Samples {
+			out := m.Predict(s)
+			if len(out.Probs) != 2 {
+				t.Fatalf("probs len = %d", len(out.Probs))
+			}
+			var sum float64
+			for _, p := range out.Probs {
+				if p < 0 || p > 1 {
+					t.Fatalf("prob out of range: %v", p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("probs sum to %v", sum)
+			}
+		}
+	}
+}
+
+// accuracy measures agreement with the dataset's true labels.
+func accuracy(m Model, samples []*dataset.Sample) float64 {
+	correct := 0
+	for _, s := range samples {
+		if mathx.ArgMax(m.Predict(s).Probs) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+func TestSkillOrderingHolds(t *testing.T) {
+	ds := dataset.TextMatching(dataset.Config{N: 4000, Seed: 3})
+	models := TextMatchingModels(5)
+	accs := make([]float64, len(models))
+	for i, m := range models {
+		accs[i] = accuracy(m, ds.Samples)
+	}
+	// bilstm < roberta <= bert, and all clearly above chance.
+	if !(accs[0] < accs[1] && accs[1] <= accs[2]+0.02) {
+		t.Errorf("accuracy ordering violated: %v", accs)
+	}
+	if accs[0] < 0.6 || accs[2] > 0.99 {
+		t.Errorf("accuracies implausible: %v", accs)
+	}
+}
+
+func TestHardSamplesAreHarder(t *testing.T) {
+	ds := dataset.TextMatching(dataset.Config{N: 6000, Seed: 4})
+	m := TextMatchingModels(5)[2]
+	var easy, hard []*dataset.Sample
+	for _, s := range ds.Samples {
+		if s.Difficulty < 0.15 {
+			easy = append(easy, s)
+		} else if s.Difficulty > 0.6 {
+			hard = append(hard, s)
+		}
+	}
+	accEasy, accHard := accuracy(m, easy), accuracy(m, hard)
+	if accEasy-accHard < 0.1 {
+		t.Errorf("difficulty has no bite: easy=%v hard=%v", accEasy, accHard)
+	}
+}
+
+func TestErrorsAreCorrelated(t *testing.T) {
+	// Shared noise must make two models agree more than independent coin
+	// flips of the same accuracies would.
+	ds := dataset.TextMatching(dataset.Config{N: 6000, Seed: 5})
+	models := TextMatchingModels(5)
+	a, b := models[1], models[2]
+	var accA, accB, agree float64
+	for _, s := range ds.Samples {
+		pa := mathx.ArgMax(a.Predict(s).Probs) == s.Label
+		pb := mathx.ArgMax(b.Predict(s).Probs) == s.Label
+		if pa {
+			accA++
+		}
+		if pb {
+			accB++
+		}
+		if pa == pb {
+			agree++
+		}
+	}
+	n := float64(len(ds.Samples))
+	accA, accB, agree = accA/n, accB/n, agree/n
+	independent := accA*accB + (1-accA)*(1-accB)
+	if agree <= independent+0.01 {
+		t.Errorf("agreement %v not above independence baseline %v", agree, independent)
+	}
+}
+
+func TestRegressionModels(t *testing.T) {
+	ds := dataset.VehicleCounting(dataset.Config{N: 3000, Seed: 6})
+	models := VehicleCountingModels(7)
+	rmse := func(m Model) float64 {
+		var s float64
+		for _, smp := range ds.Samples {
+			d := m.Predict(smp).Value - smp.Value
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(ds.Samples)))
+	}
+	errs := make([]float64, len(models))
+	for i, m := range models {
+		errs[i] = rmse(m)
+		if errs[i] <= 0 {
+			t.Fatalf("model %s has zero error — too easy", m.Name())
+		}
+	}
+	// Higher skill => lower RMSE.
+	if !(errs[0] > errs[1] && errs[1] > errs[2]) {
+		t.Errorf("regression error ordering violated: %v", errs)
+	}
+	for _, s := range ds.Samples[:200] {
+		if models[0].Predict(s).Value < 0 {
+			t.Fatal("negative count prediction")
+		}
+	}
+}
+
+func TestRetrievalModels(t *testing.T) {
+	ds := dataset.ImageRetrieval(dataset.RetrievalConfig{
+		Config: dataset.Config{N: 300, Seed: 8}, GallerySize: 200, EmbDim: 8})
+	models := ImageRetrievalModels(9, 8)
+	cos := func(m Model) float64 {
+		var s float64
+		for _, smp := range ds.Samples {
+			s += mathx.CosineSim(m.Predict(smp).Embedding, smp.Embedding)
+		}
+		return s / float64(len(ds.Samples))
+	}
+	c0, c1 := cos(models[0]), cos(models[1])
+	if !(c1 > c0 && c0 > 0.3) {
+		t.Errorf("retrieval embedding quality ordering violated: %v vs %v", c0, c1)
+	}
+	for _, s := range ds.Samples[:50] {
+		e := models[0].Predict(s).Embedding
+		if math.Abs(mathx.Norm2(e)-1) > 1e-9 {
+			t.Fatal("predicted embedding not unit norm")
+		}
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	m := TextMatchingModels(1)[2]
+	if m.MeanLatency() != 90*time.Millisecond {
+		t.Errorf("bert latency = %v", m.MeanLatency())
+	}
+	src := rng.New(10)
+	var total time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		l := m.SampleLatency(src)
+		if l < m.MeanLatency()/2 {
+			t.Fatalf("latency %v below floor", l)
+		}
+		total += l
+	}
+	avg := total / n
+	if avg < 85*time.Millisecond || avg > 95*time.Millisecond {
+		t.Errorf("mean sampled latency = %v, want ~90ms", avg)
+	}
+}
+
+func TestMemoryAndSkillAccessors(t *testing.T) {
+	models := TextMatchingModels(1)
+	if models[0].Memory() >= models[1].Memory() {
+		t.Error("bilstm should be smaller than roberta")
+	}
+	if models[0].Skill() >= models[2].Skill() {
+		t.Error("bilstm should have lower skill than bert")
+	}
+	for _, m := range models {
+		if m.Name() == "" {
+			t.Error("model must have a name")
+		}
+	}
+}
+
+func TestZooEnsembleSizes(t *testing.T) {
+	if n := len(TextMatchingModels(1)); n != 3 {
+		t.Errorf("text matching ensemble size = %d, want 3", n)
+	}
+	if n := len(VehicleCountingModels(1)); n != 3 {
+		t.Errorf("vehicle counting ensemble size = %d, want 3", n)
+	}
+	if n := len(ImageRetrievalModels(1, 16)); n != 2 {
+		t.Errorf("image retrieval ensemble size = %d, want 2", n)
+	}
+}

@@ -1,0 +1,331 @@
+// Package nn is a small from-scratch neural network library: fully connected
+// layers, the usual activations, MSE / binary and categorical cross-entropy
+// losses, SGD-with-momentum and Adam optimizers, and a two-headed network
+// type implementing the joint loss of Schemble's discrepancy predictor
+// (task loss + lambda * MSE on the difficulty head, Eq. 2 of the paper).
+//
+// It exists because the paper's discrepancy predictor and gating baseline
+// are lightweight networks that must actually be *trained* for the
+// reproduction to be honest; no external ML dependency is available.
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"schemble/internal/mathx"
+	"schemble/internal/rng"
+)
+
+// Activation identifies a nonlinearity applied elementwise after a dense
+// layer (Softmax is applied across the layer's outputs).
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+	SigmoidAct
+	Softmax
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case SigmoidAct:
+		return "sigmoid"
+	case Softmax:
+		return "softmax"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// apply computes the activation of pre into post (same length).
+func (a Activation) apply(post, pre []float64) {
+	switch a {
+	case Identity:
+		copy(post, pre)
+	case ReLU:
+		for i, v := range pre {
+			if v > 0 {
+				post[i] = v
+			} else {
+				post[i] = 0
+			}
+		}
+	case Tanh:
+		for i, v := range pre {
+			post[i] = math.Tanh(v)
+		}
+	case SigmoidAct:
+		for i, v := range pre {
+			post[i] = mathx.Sigmoid(v)
+		}
+	case Softmax:
+		mathx.SoftmaxInto(post, pre)
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// derivChain multiplies the upstream gradient gOut by the activation's
+// Jacobian (diagonal for elementwise activations) and writes the result into
+// gPre. post holds the forward activations. Softmax is handled specially and
+// only supports being paired with cross-entropy via Net's loss plumbing,
+// where the combined gradient (p - y) is supplied directly; in that case the
+// caller passes the combined gradient and derivChain is the identity.
+func (a Activation) derivChain(gPre, gOut, post []float64, softmaxCombined bool) {
+	switch a {
+	case Identity:
+		copy(gPre, gOut)
+	case ReLU:
+		for i := range gOut {
+			if post[i] > 0 {
+				gPre[i] = gOut[i]
+			} else {
+				gPre[i] = 0
+			}
+		}
+	case Tanh:
+		for i := range gOut {
+			gPre[i] = gOut[i] * (1 - post[i]*post[i])
+		}
+	case SigmoidAct:
+		for i := range gOut {
+			gPre[i] = gOut[i] * post[i] * (1 - post[i])
+		}
+	case Softmax:
+		if softmaxCombined {
+			copy(gPre, gOut)
+			return
+		}
+		// Full softmax Jacobian: gPre_i = post_i * (gOut_i - sum_j gOut_j post_j)
+		var dot float64
+		for j := range gOut {
+			dot += gOut[j] * post[j]
+		}
+		for i := range gOut {
+			gPre[i] = post[i] * (gOut[i] - dot)
+		}
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// Layer is one dense layer: out = act(W x + b). Weights are stored row-major
+// (W[i*In+j] connects input j to output i).
+type Layer struct {
+	In, Out int
+	Act     Activation
+	W       []float64
+	B       []float64
+}
+
+// NewLayer allocates a layer with He/Xavier-style initialization drawn from
+// src (He for ReLU, Xavier otherwise).
+func NewLayer(in, out int, act Activation, src *rng.Source) *Layer {
+	l := &Layer{In: in, Out: out, Act: act,
+		W: make([]float64, in*out), B: make([]float64, out)}
+	scale := math.Sqrt(1 / float64(in))
+	if act == ReLU {
+		scale = math.Sqrt(2 / float64(in))
+	}
+	for i := range l.W {
+		l.W[i] = src.Normal(0, scale)
+	}
+	return l
+}
+
+// forward computes pre = Wx + b and post = act(pre). pre and post must be
+// length Out.
+func (l *Layer) forward(pre, post, x []float64) {
+	for i := 0; i < l.Out; i++ {
+		s := l.B[i]
+		row := l.W[i*l.In : (i+1)*l.In]
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		pre[i] = s
+	}
+	l.Act.apply(post, pre)
+}
+
+// Spec describes a feed-forward trunk as a sequence of dense layers.
+type Spec struct {
+	In     int
+	Hidden []int
+	// HiddenAct applies to every hidden layer; defaults to ReLU.
+	HiddenAct Activation
+}
+
+// Net is a feed-forward network with one or two output heads sharing a
+// trunk. A Net reuses internal scratch buffers and is NOT safe for
+// concurrent use; callers serving from multiple goroutines must
+// synchronize (discrepancy.Predictor does). Head 1 is the task head (classification or regression); head 2, if
+// present, is the scalar discrepancy head trained with MSE. This mirrors the
+// architecture in Section V-C of the paper: a shared feature extractor whose
+// final hidden representation feeds both outputs.
+type Net struct {
+	Trunk []*Layer
+	Head1 *Layer // task head
+	Head2 *Layer // optional difficulty head (Out == 1)
+
+	// scratch buffers, sized at construction; reused across calls.
+	pres, posts [][]float64
+	h1pre, h1   []float64
+	h2pre, h2   []float64
+	grads       *netGrads
+}
+
+// Config configures NewNet.
+type Config struct {
+	Spec      Spec
+	TaskOut   int        // width of the task head
+	TaskAct   Activation // task head activation (Softmax for classification, Identity/SigmoidAct otherwise)
+	WithHead2 bool       // attach the scalar difficulty head
+	Head2Act  Activation // difficulty head activation; defaults to SigmoidAct
+}
+
+// NewNet builds a network from cfg, drawing initial weights from src.
+func NewNet(cfg Config, src *rng.Source) *Net {
+	if cfg.TaskOut <= 0 {
+		panic("nn: TaskOut must be positive")
+	}
+	hiddenAct := cfg.Spec.HiddenAct
+	if hiddenAct == Identity && len(cfg.Spec.Hidden) > 0 {
+		hiddenAct = ReLU
+	}
+	n := &Net{}
+	in := cfg.Spec.In
+	for _, h := range cfg.Spec.Hidden {
+		n.Trunk = append(n.Trunk, NewLayer(in, h, hiddenAct, src))
+		in = h
+	}
+	n.Head1 = NewLayer(in, cfg.TaskOut, cfg.TaskAct, src)
+	if cfg.WithHead2 {
+		act := cfg.Head2Act
+		if act == Identity {
+			act = SigmoidAct
+		}
+		n.Head2 = NewLayer(in, 1, act, src)
+	}
+	n.allocScratch()
+	return n
+}
+
+func (n *Net) allocScratch() {
+	n.pres = n.pres[:0]
+	n.posts = n.posts[:0]
+	for _, l := range n.Trunk {
+		n.pres = append(n.pres, make([]float64, l.Out))
+		n.posts = append(n.posts, make([]float64, l.Out))
+	}
+	n.h1pre = make([]float64, n.Head1.Out)
+	n.h1 = make([]float64, n.Head1.Out)
+	if n.Head2 != nil {
+		n.h2pre = make([]float64, 1)
+		n.h2 = make([]float64, 1)
+	}
+	n.grads = newNetGrads(n)
+}
+
+// trunkOut runs the trunk forward and returns the final hidden activation
+// (or x itself when there are no hidden layers).
+func (n *Net) trunkOut(x []float64) []float64 {
+	h := x
+	for i, l := range n.Trunk {
+		l.forward(n.pres[i], n.posts[i], h)
+		h = n.posts[i]
+	}
+	return h
+}
+
+// Forward runs the network on x and returns the task output and, when the
+// difficulty head exists, the predicted discrepancy score. The returned
+// slices are owned by the Net and overwritten by the next call; copy them if
+// they must persist.
+func (n *Net) Forward(x []float64) (task []float64, dis float64) {
+	h := n.trunkOut(x)
+	n.Head1.forward(n.h1pre, n.h1, h)
+	if n.Head2 != nil {
+		n.Head2.forward(n.h2pre, n.h2, h)
+		dis = n.h2[0]
+	}
+	return n.h1, dis
+}
+
+// Predict returns a copy of the task head's output for x.
+func (n *Net) Predict(x []float64) []float64 {
+	out, _ := n.Forward(x)
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// PredictScore returns the difficulty head's output for x; it panics when
+// the net has no second head.
+func (n *Net) PredictScore(x []float64) float64 {
+	if n.Head2 == nil {
+		panic("nn: PredictScore on single-headed net")
+	}
+	_, dis := n.Forward(x)
+	return dis
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Net) NumParams() int {
+	total := 0
+	for _, l := range n.Trunk {
+		total += len(l.W) + len(l.B)
+	}
+	total += len(n.Head1.W) + len(n.Head1.B)
+	if n.Head2 != nil {
+		total += len(n.Head2.W) + len(n.Head2.B)
+	}
+	return total
+}
+
+// gobNet mirrors Net's persistent state for serialization.
+type gobNet struct {
+	Trunk []*Layer
+	Head1 *Layer
+	Head2 *Layer
+}
+
+// MarshalBinary serializes the network weights with encoding/gob.
+func (n *Net) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobNet{n.Trunk, n.Head1, n.Head2}); err != nil {
+		return nil, fmt.Errorf("nn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores network weights serialized by MarshalBinary.
+func (n *Net) UnmarshalBinary(data []byte) error {
+	var g gobNet
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	n.Trunk, n.Head1, n.Head2 = g.Trunk, g.Head1, g.Head2
+	n.allocScratch()
+	return nil
+}
+
+// RestoreNet rebuilds a network from MarshalBinary output.
+func RestoreNet(data []byte) (*Net, error) {
+	n := &Net{}
+	if err := n.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

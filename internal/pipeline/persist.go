@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"schemble/internal/calib"
+	"schemble/internal/discrepancy"
+	"schemble/internal/ensemble"
+	"schemble/internal/model"
+	"schemble/internal/profiling"
+)
+
+func durationOf(ns int64) time.Duration { return time.Duration(ns) }
+
+// Fitting a pipeline costs minutes of profiling and predictor training; a
+// deployment wants to fit once and restore at process start. Save/Load
+// serialize the fitted state (scorer normalization, calibrators, reward
+// profiles, predictor weights, per-sample artifacts) with encoding/gob.
+// The dataset and models are reconstructed from their generator seeds, so
+// a snapshot stays small and self-consistent: Load verifies the seed and
+// re-derives everything deterministic, then overlays the fitted state.
+
+// snapshotVersion guards against loading incompatible snapshots.
+const snapshotVersion = 1
+
+// snapshot is the serialized fitted state.
+type snapshot struct {
+	Version int
+	Seed    uint64
+	Task    int
+	Name    string
+
+	// Fitted state that is NOT derivable from the seed alone (training
+	// involves the nn package's own RNG and iteration order, so we store
+	// the results rather than re-deriving).
+	Calibrators   []float64 // temperature per model (0 = none)
+	NormSamples   [][]float64
+	TrueScores    []float64
+	EAScores      []float64
+	ProfileGob    []byte
+	EAProfileGob  []byte
+	PredictorGob  []byte
+	EAPredictGob  []byte
+	PredCost      int64
+	PredMem       int64
+	EAPredCost    int64
+	EAPredMem     int64
+	PerModelAgree [][]float64
+}
+
+func init() {
+	gob.Register(&profiling.Profile{})
+}
+
+// Save writes the fitted pipeline state to w.
+func (a *Artifacts) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:       snapshotVersion,
+		Seed:          a.Seed,
+		Task:          int(a.Dataset.Task),
+		Name:          a.Dataset.Name,
+		TrueScores:    a.TrueScores,
+		EAScores:      a.EAScores,
+		PerModelAgree: a.PerModelAgree,
+	}
+	// Calibrators and normalization samples.
+	if a.DisScorer.Calibrators != nil {
+		snap.Calibrators = make([]float64, len(a.DisScorer.Calibrators))
+		for i, c := range a.DisScorer.Calibrators {
+			if c != nil {
+				snap.Calibrators[i] = c.T
+			}
+		}
+	}
+	snap.NormSamples = make([][]float64, len(a.DisScorer.Norms))
+	for i, n := range a.DisScorer.Norms {
+		snap.NormSamples[i] = n.Sample()
+	}
+	var err error
+	if snap.ProfileGob, err = gobBytes(a.Profile); err != nil {
+		return fmt.Errorf("pipeline: encode profile: %w", err)
+	}
+	if snap.EAProfileGob, err = gobBytes(a.EAProfile); err != nil {
+		return fmt.Errorf("pipeline: encode ea profile: %w", err)
+	}
+	if snap.PredictorGob, err = a.Predictor.MarshalBinary(); err != nil {
+		return fmt.Errorf("pipeline: encode predictor: %w", err)
+	}
+	if snap.EAPredictGob, err = a.EAPredictor.MarshalBinary(); err != nil {
+		return fmt.Errorf("pipeline: encode ea predictor: %w", err)
+	}
+	snap.PredCost, snap.PredMem = int64(a.Predictor.InferCost), a.Predictor.MemoryBytes
+	snap.EAPredCost, snap.EAPredMem = int64(a.EAPredictor.InferCost), a.EAPredictor.MemoryBytes
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// SaveFile writes the snapshot to path.
+func (a *Artifacts) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.Save(f)
+}
+
+// Load restores a fitted pipeline from r. cfg must describe the same
+// dataset and models the snapshot was built from (same seeds); Load
+// re-derives the deterministic parts (outputs, references, splits) and
+// overlays the fitted state. It fails when the snapshot does not match.
+func Load(cfg Config, r io.Reader) (*Artifacts, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("pipeline: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("pipeline: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if snap.Seed != cfg.Seed {
+		return nil, fmt.Errorf("pipeline: snapshot seed %d does not match config seed %d", snap.Seed, cfg.Seed)
+	}
+	if cfg.Dataset == nil || snap.Name != cfg.Dataset.Name {
+		return nil, fmt.Errorf("pipeline: snapshot dataset %q does not match config", snap.Name)
+	}
+	// Rebuild the deterministic scaffolding without any training.
+	rebuilt := buildScaffold(cfg)
+	a := rebuilt
+	if len(snap.TrueScores) != len(a.Dataset.Samples) {
+		return nil, fmt.Errorf("pipeline: snapshot covers %d samples, dataset has %d",
+			len(snap.TrueScores), len(a.Dataset.Samples))
+	}
+	// Overlay fitted state.
+	a.TrueScores = snap.TrueScores
+	a.EAScores = snap.EAScores
+	a.PerModelAgree = snap.PerModelAgree
+	a.DisScorer = &discrepancy.Scorer{Task: a.Dataset.Task}
+	if snap.Calibrators != nil {
+		a.DisScorer.Calibrators = make([]*calib.Scaler, len(snap.Calibrators))
+		for i, t := range snap.Calibrators {
+			if t != 0 {
+				a.DisScorer.Calibrators[i] = &calib.Scaler{T: t}
+			}
+		}
+	}
+	a.DisScorer.Norms = make([]*discrepancy.ECDF, len(snap.NormSamples))
+	for i, s := range snap.NormSamples {
+		a.DisScorer.Norms[i] = discrepancy.NewECDF(s)
+	}
+	if err := gobInto(snap.ProfileGob, &a.Profile); err != nil {
+		return nil, fmt.Errorf("pipeline: decode profile: %w", err)
+	}
+	if err := gobInto(snap.EAProfileGob, &a.EAProfile); err != nil {
+		return nil, fmt.Errorf("pipeline: decode ea profile: %w", err)
+	}
+	var err error
+	if a.Predictor, err = discrepancy.RestorePredictor(snap.PredictorGob,
+		durationOf(snap.PredCost), snap.PredMem); err != nil {
+		return nil, fmt.Errorf("pipeline: restore predictor: %w", err)
+	}
+	if a.EAPredictor, err = discrepancy.RestorePredictor(snap.EAPredictGob,
+		durationOf(snap.EAPredCost), snap.EAPredMem); err != nil {
+		return nil, fmt.Errorf("pipeline: restore ea predictor: %w", err)
+	}
+	return a, nil
+}
+
+// LoadFile restores a snapshot from path.
+func LoadFile(cfg Config, path string) (*Artifacts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(cfg, f)
+}
+
+// buildScaffold reconstructs the deterministic (non-trained) artifacts:
+// ensemble, outputs, references, splits.
+func buildScaffold(cfg Config) *Artifacts {
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = &ensemble.Average{}
+	}
+	if cfg.TrainFrac == 0 {
+		cfg.TrainFrac = 0.5
+	}
+	if cfg.ValFrac == 0 {
+		cfg.ValFrac = 0.1
+	}
+	a := &Artifacts{Dataset: cfg.Dataset, Seed: cfg.Seed}
+	a.Ensemble = ensemble.New(cfg.Dataset.Task, cfg.Models, cfg.Aggregator, nil)
+	a.Scorer = ensemble.NewScorer(cfg.Dataset)
+	a.Train, a.Val, a.Serve = cfg.Dataset.Split(cfg.TrainFrac, cfg.ValFrac, cfg.Seed)
+	n := len(cfg.Dataset.Samples)
+	a.Outs = make([][]model.Output, n)
+	a.Refs = make([]model.Output, n)
+	for _, s := range cfg.Dataset.Samples {
+		outs := a.Ensemble.Outputs(s)
+		a.Outs[s.ID] = outs
+		a.Refs[s.ID] = a.Ensemble.Predict(outs, a.Ensemble.FullSubset())
+	}
+	return a
+}
+
+func gobBytes(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobInto(data []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

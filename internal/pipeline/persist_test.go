@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"schemble/internal/dataset"
+	"schemble/internal/ensemble"
+	"schemble/internal/model"
+)
+
+func persistFixtureCfg() Config {
+	return Config{
+		Dataset: dataset.TextMatching(dataset.Config{N: 900, Seed: 77}),
+		Models:  model.TextMatchingModels(77),
+		Seed:    77, PredictorEpochs: 15,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := persistFixtureCfg()
+	orig := Build(cfg)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the dataset/models from the same seeds, then restore.
+	cfg2 := persistFixtureCfg()
+	restored, err := Load(cfg2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fitted state must survive exactly.
+	for id := range orig.TrueScores {
+		if orig.TrueScores[id] != restored.TrueScores[id] {
+			t.Fatal("true scores differ after restore")
+		}
+	}
+	for _, s := range orig.Serve[:100] {
+		if math.Abs(orig.Predictor.Predict(s)-restored.Predictor.Predict(s)) > 1e-15 {
+			t.Fatal("predictor outputs differ after restore")
+		}
+		if orig.DisScorer.Score(orig.Outs[s.ID], orig.Refs[s.ID]) !=
+			restored.DisScorer.Score(restored.Outs[s.ID], restored.Refs[s.ID]) {
+			t.Fatal("discrepancy scores differ after restore")
+		}
+	}
+	for b := 0; b < orig.Profile.Bins; b++ {
+		for _, sub := range ensemble.AllSubsets(orig.Ensemble.M()) {
+			if orig.Profile.RewardBin(b, sub) != restored.Profile.RewardBin(b, sub) {
+				t.Fatal("profile rewards differ after restore")
+			}
+		}
+	}
+	// Splits must be identical (deterministic in seed).
+	if len(orig.Serve) != len(restored.Serve) || orig.Serve[0].ID != restored.Serve[0].ID {
+		t.Fatal("splits differ after restore")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	cfg := persistFixtureCfg()
+	orig := Build(cfg)
+	path := filepath.Join(t.TempDir(), "pipeline.gob")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(persistFixtureCfg(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Predictor == nil || restored.Profile == nil {
+		t.Fatal("restored pipeline incomplete")
+	}
+}
+
+func TestLoadRejectsMismatch(t *testing.T) {
+	cfg := persistFixtureCfg()
+	orig := Build(cfg)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongSeed := persistFixtureCfg()
+	wrongSeed.Seed = 78
+	if _, err := Load(wrongSeed, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("seed mismatch not rejected")
+	}
+
+	wrongDataset := persistFixtureCfg()
+	wrongDataset.Dataset = dataset.VehicleCounting(dataset.Config{N: 900, Seed: 77})
+	if _, err := Load(wrongDataset, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("dataset mismatch not rejected")
+	}
+
+	wrongSize := persistFixtureCfg()
+	wrongSize.Dataset = dataset.TextMatching(dataset.Config{N: 500, Seed: 77})
+	if _, err := Load(wrongSize, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("size mismatch not rejected")
+	}
+
+	if _, err := Load(persistFixtureCfg(), bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage snapshot not rejected")
+	}
+}

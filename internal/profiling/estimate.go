@@ -1,0 +1,178 @@
+package profiling
+
+import (
+	"sort"
+
+	"schemble/internal/ensemble"
+)
+
+// Estimator implements Eq. 3: for ensembles too large to profile
+// exhaustively, rewards of subsets of size > 2 are estimated from singleton
+// and pair measurements via the diminishing-marginal-reward recursion
+//
+//	U(b, {m1..mk+1}) = U(b, {m1..mk})
+//	                 + gamma_k * (1/k) * sum_q [U(b,{mq,mk+1}) - U(b,{mq})]
+//
+// with models sorted by accuracy. Gamma factors are either supplied or fit
+// against a handful of measured larger subsets (FitGammas).
+type Estimator struct {
+	p *Profile
+	// order[k] is the model index with the k-th highest singleton reward
+	// (averaged over bins), the paper's "sorted by accuracy".
+	order []int
+	// gammas[k] applies when extending a size-k prefix (k >= 2);
+	// gammas[0], gammas[1] are unused.
+	gammas []float64
+}
+
+// DefaultGammas returns geometric diminishing factors gamma_k = 0.6^(k-1),
+// a serviceable prior when no larger subsets were profiled.
+func DefaultGammas(m int) []float64 {
+	g := make([]float64, m)
+	v := 0.6
+	for k := 2; k < m; k++ {
+		g[k] = v
+		v *= 0.6
+	}
+	return g
+}
+
+// NewEstimator builds an estimator over a profile that has (at least)
+// singleton and pair rewards measured. gammas may come from DefaultGammas
+// or FitGammas.
+func NewEstimator(p *Profile, gammas []float64) *Estimator {
+	e := &Estimator{p: p, gammas: gammas}
+	// Rank models by mean singleton reward.
+	mean := make([]float64, p.M)
+	for k := 0; k < p.M; k++ {
+		var s float64
+		for b := 0; b < p.Bins; b++ {
+			s += p.U[b][ensemble.Single(k)]
+		}
+		mean[k] = s / float64(p.Bins)
+	}
+	e.order = make([]int, p.M)
+	for i := range e.order {
+		e.order[i] = i
+	}
+	sort.Slice(e.order, func(a, b int) bool { return mean[e.order[a]] > mean[e.order[b]] })
+	return e
+}
+
+// Reward estimates U(b, s). Subsets of size <= 2 read the measured table
+// directly; larger subsets apply the recursion.
+func (e *Estimator) Reward(b int, s ensemble.Subset) float64 {
+	if s == ensemble.Empty {
+		return 0
+	}
+	if s.Size() <= 2 {
+		return e.p.U[b][s]
+	}
+	// Order the subset's models by global accuracy rank.
+	var members []int
+	for _, k := range e.order {
+		if s.Contains(k) {
+			members = append(members, k)
+		}
+	}
+	cur := ensemble.Single(members[0])
+	u := e.p.U[b][cur]
+	for k := 1; k < len(members); k++ {
+		next := members[k]
+		var marginal float64
+		for q := 0; q < k; q++ {
+			pair := ensemble.Single(members[q]).With(next)
+			marginal += e.p.U[b][pair] - e.p.U[b][ensemble.Single(members[q])]
+		}
+		marginal /= float64(k)
+		gamma := 1.0
+		if k >= 2 {
+			if k < len(e.gammas) {
+				gamma = e.gammas[k]
+			} else {
+				gamma = e.gammas[len(e.gammas)-1]
+			}
+		}
+		u += gamma * marginal
+		cur = cur.With(next)
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// RewarderFor adapts the estimator to the scheduler's Rewarder interface
+// over the profile's bin edges: rewards of small subsets come from the
+// measured table, larger subsets from the Eq. 3 recursion. This is how a
+// large ensemble (profiling only singletons and pairs) plugs into the DP
+// scheduler.
+type estimatorRewarder struct {
+	p *Profile
+	e *Estimator
+}
+
+// RewarderFor returns a score-indexed reward function backed by est.
+func RewarderFor(p *Profile, est *Estimator) interface {
+	Reward(score float64, s ensemble.Subset) float64
+} {
+	return estimatorRewarder{p, est}
+}
+
+// Reward implements core.Rewarder.
+func (r estimatorRewarder) Reward(score float64, s ensemble.Subset) float64 {
+	return r.e.Reward(r.p.Bin(score), s)
+}
+
+// FitGammas fits the per-size diminishing factors against a fully measured
+// profile by least squares: for each prefix size k >= 2 it chooses the
+// gamma_k minimizing the squared error between the recursion's prediction
+// and the measured reward of the corresponding (k+1)-subsets, across bins.
+func FitGammas(p *Profile) []float64 {
+	e := NewEstimator(p, make([]float64, p.M)) // gammas filled below
+	gammas := make([]float64, p.M)
+	for k := 2; k < p.M; k++ {
+		var num, den float64
+		for b := 0; b < p.Bins; b++ {
+			for _, s := range ensemble.SubsetsOfSize(p.M, k+1) {
+				// Order members by accuracy and split prefix/last.
+				var members []int
+				for _, mi := range e.order {
+					if s.Contains(mi) {
+						members = append(members, mi)
+					}
+				}
+				last := members[k]
+				prefix := ensemble.Empty
+				for _, mi := range members[:k] {
+					prefix = prefix.With(mi)
+				}
+				// Measured prefix value (exact from the table) and the
+				// marginal term of Eq. 3.
+				uPrefix := p.U[b][prefix]
+				var marginal float64
+				for q := 0; q < k; q++ {
+					pair := ensemble.Single(members[q]).With(last)
+					marginal += p.U[b][pair] - p.U[b][ensemble.Single(members[q])]
+				}
+				marginal /= float64(k)
+				target := p.U[b][s] - uPrefix
+				num += marginal * target
+				den += marginal * marginal
+			}
+		}
+		if den > 0 {
+			g := num / den
+			if g < 0 {
+				g = 0
+			}
+			if g > 1 {
+				g = 1
+			}
+			gammas[k] = g
+		} else {
+			gammas[k] = 0.6
+		}
+	}
+	return gammas
+}

@@ -1,0 +1,203 @@
+// Package profiling builds the bridge between discrepancy scores and
+// scheduling rewards (Section V-D): historical samples are divided into
+// bins by score, and the mean agreement of every model subset with the full
+// ensemble is measured per bin. The resulting table U(bin, subset) is the
+// scheduler's utility function. For large ensembles, where measuring all
+// 2^m-1 subsets is too expensive, Eq. 3's marginal-reward recursion
+// estimates rewards of subsets larger than two from singleton and pair
+// measurements.
+package profiling
+
+import (
+	"fmt"
+	"sort"
+
+	"schemble/internal/ensemble"
+)
+
+// Profile is the per-bin subset reward table.
+type Profile struct {
+	M    int
+	Bins int
+	// Edges are the bin boundaries over scores: bin b covers
+	// (Edges[b-1], Edges[b]]; len(Edges) == Bins-1.
+	Edges []float64
+	// U[b][s] is the mean agreement of subset s (bitmask index) with the
+	// full ensemble among bin-b samples; U[b][0] is unused.
+	U [][]float64
+	// Counts[b] is the number of samples profiled into bin b.
+	Counts []int
+}
+
+// Config controls Build.
+type Config struct {
+	M    int
+	Bins int // default 10
+	// Smoothing is the pseudo-count of the hierarchical shrinkage prior:
+	// each bin's subset reward is the posterior mean
+	// (sum + Smoothing*globalMean) / (count + Smoothing), which keeps
+	// sparse bins from saturating at exactly 0 or 1 on finite samples.
+	// Defaults to 25; set negative to disable.
+	Smoothing float64
+}
+
+// Build profiles rewards from historical data: scores[i] is sample i's
+// discrepancy score; agree(i, s) is the agreement of subset s with the full
+// ensemble on sample i (precomputed outputs make this cheap). Bin edges are
+// score quantiles so every bin holds comparable mass — important because
+// the score distribution concentrates near zero.
+func Build(cfg Config, scores []float64, agree func(i int, s ensemble.Subset) float64) *Profile {
+	if len(scores) == 0 {
+		panic("profiling: no samples")
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 10
+	}
+	if cfg.M <= 0 || cfg.M > ensemble.MaxModels {
+		panic("profiling: bad ensemble size")
+	}
+	p := &Profile{M: cfg.M, Bins: cfg.Bins}
+
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	for b := 1; b < cfg.Bins; b++ {
+		q := float64(b) / float64(cfg.Bins)
+		p.Edges = append(p.Edges, sorted[int(q*float64(len(sorted)-1))])
+	}
+
+	nSubsets := 1 << uint(cfg.M)
+	p.U = make([][]float64, cfg.Bins)
+	p.Counts = make([]int, cfg.Bins)
+	for b := range p.U {
+		p.U[b] = make([]float64, nSubsets)
+	}
+	global := make([]float64, nSubsets)
+	for i, sc := range scores {
+		b := p.Bin(sc)
+		p.Counts[b]++
+		for s := ensemble.Subset(1); int(s) < nSubsets; s++ {
+			a := agree(i, s)
+			p.U[b][s] += a
+			global[s] += a
+		}
+	}
+	for s := 1; s < nSubsets; s++ {
+		global[s] /= float64(len(scores))
+	}
+	smoothing := cfg.Smoothing
+	if smoothing == 0 {
+		smoothing = 25
+	}
+	if smoothing < 0 {
+		smoothing = 0
+	}
+	for b := range p.U {
+		if p.Counts[b] == 0 {
+			continue
+		}
+		n := float64(p.Counts[b])
+		for s := 1; s < nSubsets; s++ {
+			p.U[b][s] = (p.U[b][s] + smoothing*global[s]) / (n + smoothing)
+		}
+	}
+	p.fillEmptyBins()
+	p.enforceMonotone()
+	return p
+}
+
+// fillEmptyBins copies the nearest non-empty bin's rewards into empty bins.
+func (p *Profile) fillEmptyBins() {
+	for b := range p.U {
+		if p.Counts[b] > 0 {
+			continue
+		}
+		for d := 1; d < p.Bins; d++ {
+			if b-d >= 0 && p.Counts[b-d] > 0 {
+				copy(p.U[b], p.U[b-d])
+				break
+			}
+			if b+d < p.Bins && p.Counts[b+d] > 0 {
+				copy(p.U[b], p.U[b+d])
+				break
+			}
+		}
+	}
+}
+
+// enforceMonotone nudges the table so supersets never reward less than
+// their subsets — the diminishing-marginal-utility assumption (Assumption 1)
+// the scheduler's analysis relies on; sampling noise in sparse bins can
+// otherwise violate it.
+func (p *Profile) enforceMonotone() {
+	nSubsets := 1 << uint(p.M)
+	for b := range p.U {
+		// Process subsets in ascending popcount order so each superset
+		// sees finalized subset values.
+		order := make([]int, 0, nSubsets-1)
+		for s := 1; s < nSubsets; s++ {
+			order = append(order, s)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return ensemble.Subset(order[i]).Size() < ensemble.Subset(order[j]).Size()
+		})
+		for _, s := range order {
+			sub := ensemble.Subset(s)
+			for k := 0; k < p.M; k++ {
+				if !sub.Contains(k) {
+					continue
+				}
+				smaller := sub.Without(k)
+				if smaller == ensemble.Empty {
+					continue
+				}
+				if p.U[b][s] < p.U[b][smaller] {
+					p.U[b][s] = p.U[b][smaller]
+				}
+			}
+		}
+	}
+}
+
+// Bin maps a score to its bin index.
+func (p *Profile) Bin(score float64) int {
+	b := sort.SearchFloat64s(p.Edges, score)
+	if b >= p.Bins {
+		b = p.Bins - 1
+	}
+	return b
+}
+
+// Reward returns U(bin(score), s). The empty subset earns 0.
+func (p *Profile) Reward(score float64, s ensemble.Subset) float64 {
+	if s == ensemble.Empty {
+		return 0
+	}
+	return p.U[p.Bin(score)][s]
+}
+
+// RewardBin returns U(b, s) by bin index.
+func (p *Profile) RewardBin(b int, s ensemble.Subset) float64 {
+	if s == ensemble.Empty {
+		return 0
+	}
+	return p.U[b][s]
+}
+
+// BestSubsetWithin returns the subset drawn from allowed with the highest
+// reward for score; ties prefer smaller subsets (cheaper execution).
+func (p *Profile) BestSubsetWithin(score float64, allowed []ensemble.Subset) ensemble.Subset {
+	best := ensemble.Empty
+	bestR := -1.0
+	for _, s := range allowed {
+		r := p.Reward(score, s)
+		if r > bestR || (r == bestR && s.Size() < best.Size()) {
+			best, bestR = s, r
+		}
+	}
+	return best
+}
+
+// String summarizes the profile.
+func (p *Profile) String() string {
+	return fmt.Sprintf("profile{m=%d bins=%d}", p.M, p.Bins)
+}

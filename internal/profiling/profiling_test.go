@@ -1,0 +1,249 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+
+	"schemble/internal/dataset"
+	"schemble/internal/discrepancy"
+	"schemble/internal/ensemble"
+	"schemble/internal/model"
+)
+
+// tmFixture builds scores and an agreement oracle over a text-matching set.
+func tmFixture(t *testing.T, n int, seed uint64) ([]float64, func(int, ensemble.Subset) float64, *ensemble.Ensemble) {
+	t.Helper()
+	ds := dataset.TextMatching(dataset.Config{N: n, Seed: seed})
+	models := model.TextMatchingModels(seed + 50)
+	e := ensemble.New(dataset.Classification, models, &ensemble.Average{}, nil)
+	scorer := ensemble.NewScorer(ds)
+	var all [][]model.Output
+	var ens []model.Output
+	for _, s := range ds.Samples {
+		outs := e.Outputs(s)
+		all = append(all, outs)
+		ens = append(ens, e.Predict(outs, e.FullSubset()))
+	}
+	dsc := discrepancy.Fit(discrepancy.FitConfig{Task: dataset.Classification, Calibrate: true}, all, ens)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = dsc.Score(all[i], ens[i])
+	}
+	agree := func(i int, s ensemble.Subset) float64 {
+		return scorer.Score(e.Predict(all[i], s), ens[i])
+	}
+	return scores, agree, e
+}
+
+func TestBuildBasics(t *testing.T) {
+	scores, agree, e := tmFixture(t, 2000, 1)
+	p := Build(Config{M: e.M(), Bins: 10}, scores, agree)
+	if p.Bins != 10 || len(p.Edges) != 9 {
+		t.Fatalf("bins %d edges %d", p.Bins, len(p.Edges))
+	}
+	total := 0
+	for _, c := range p.Counts {
+		total += c
+	}
+	if total != 2000 {
+		t.Errorf("counts sum to %d", total)
+	}
+	full := e.FullSubset()
+	for b := 0; b < p.Bins; b++ {
+		if got := p.RewardBin(b, full); math.Abs(got-1) > 1e-9 {
+			t.Errorf("full subset reward in bin %d = %v, want 1", b, got)
+		}
+		for s := ensemble.Subset(1); s <= full; s++ {
+			r := p.RewardBin(b, s)
+			if r < 0 || r > 1 {
+				t.Fatalf("reward out of range: %v", r)
+			}
+		}
+	}
+}
+
+func TestMonotoneInSubsetSize(t *testing.T) {
+	scores, agree, e := tmFixture(t, 2000, 2)
+	p := Build(Config{M: e.M(), Bins: 8}, scores, agree)
+	for b := 0; b < p.Bins; b++ {
+		for _, s := range ensemble.AllSubsets(e.M()) {
+			for k := 0; k < e.M(); k++ {
+				if s.Contains(k) || p.RewardBin(b, s.With(k)) >= p.RewardBin(b, s)-1e-12 {
+					continue
+				}
+				t.Fatalf("bin %d: U(%v) > U(%v)", b, s, s.With(k))
+			}
+		}
+	}
+}
+
+func TestEasyBinsRewardSmallSubsetsHighly(t *testing.T) {
+	// Fig. 4b: on low-score bins even single models agree with the
+	// ensemble; on high-score bins they don't.
+	scores, agree, e := tmFixture(t, 4000, 3)
+	p := Build(Config{M: e.M(), Bins: 10}, scores, agree)
+	weakest := ensemble.Single(0)
+	lowBin := p.RewardBin(0, weakest)
+	highBin := p.RewardBin(p.Bins-1, weakest)
+	if lowBin < highBin+0.1 {
+		t.Errorf("single-model reward: easy bin %v vs hard bin %v — difficulty has no bite", lowBin, highBin)
+	}
+	if lowBin < 0.85 {
+		t.Errorf("easy-bin single-model reward = %v, want high", lowBin)
+	}
+}
+
+func TestBinAssignment(t *testing.T) {
+	p := &Profile{Bins: 3, Edges: []float64{0.3, 0.6}}
+	cases := []struct {
+		score float64
+		bin   int
+	}{{0.0, 0}, {0.3, 0}, {0.31, 1}, {0.6, 1}, {0.61, 2}, {5, 2}}
+	for _, c := range cases {
+		if got := p.Bin(c.score); got != c.bin {
+			t.Errorf("Bin(%v) = %d, want %d", c.score, got, c.bin)
+		}
+	}
+}
+
+func TestEmptySubsetRewardIsZero(t *testing.T) {
+	scores, agree, e := tmFixture(t, 500, 4)
+	p := Build(Config{M: e.M(), Bins: 5}, scores, agree)
+	if p.Reward(0.2, ensemble.Empty) != 0 {
+		t.Error("empty subset must earn 0")
+	}
+}
+
+func TestBestSubsetWithin(t *testing.T) {
+	scores, agree, e := tmFixture(t, 1500, 5)
+	p := Build(Config{M: e.M(), Bins: 6}, scores, agree)
+	all := ensemble.AllSubsets(e.M())
+	best := p.BestSubsetWithin(0.05, all)
+	if best == ensemble.Empty {
+		t.Fatal("no best subset")
+	}
+	// The best must actually attain the maximum reward.
+	for _, s := range all {
+		if p.Reward(0.05, s) > p.Reward(0.05, best)+1e-12 {
+			t.Fatalf("subset %v beats reported best %v", s, best)
+		}
+	}
+}
+
+// sixModelFixture builds a 6-model classification ensemble (the CIFAR100
+// analogue of Fig. 5 / Fig. 20a).
+func sixModelFixture(t *testing.T, n int) ([]float64, func(int, ensemble.Subset) float64, *ensemble.Ensemble) {
+	t.Helper()
+	ds := dataset.TextMatching(dataset.Config{N: n, Seed: 60})
+	skills := []float64{0.70, 0.76, 0.80, 0.84, 0.87, 0.90}
+	var models []model.Model
+	for i, sk := range skills {
+		models = append(models, model.NewSynthetic(model.SyntheticConfig{
+			Name: "m", Task: dataset.Classification, Classes: 2,
+			Skill: sk, Seed: uint64(700 + i),
+		}))
+	}
+	e := ensemble.New(dataset.Classification, models, &ensemble.Average{}, nil)
+	scorer := ensemble.NewScorer(ds)
+	var all [][]model.Output
+	var ens []model.Output
+	for _, s := range ds.Samples {
+		outs := e.Outputs(s)
+		all = append(all, outs)
+		ens = append(ens, e.Predict(outs, e.FullSubset()))
+	}
+	dsc := discrepancy.Fit(discrepancy.FitConfig{Task: dataset.Classification, Calibrate: true}, all, ens)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = dsc.Score(all[i], ens[i])
+	}
+	agree := func(i int, s ensemble.Subset) float64 {
+		return scorer.Score(e.Predict(all[i], s), ens[i])
+	}
+	return scores, agree, e
+}
+
+func TestEstimatorApproximatesMeasured(t *testing.T) {
+	scores, agree, e := sixModelFixture(t, 2500)
+	p := Build(Config{M: e.M(), Bins: 6}, scores, agree)
+	gammas := FitGammas(p)
+	est := NewEstimator(p, gammas)
+
+	var sse float64
+	var count int
+	for b := 0; b < p.Bins; b++ {
+		for _, s := range ensemble.AllSubsets(e.M()) {
+			if s.Size() < 3 {
+				continue
+			}
+			d := est.Reward(b, s) - p.RewardBin(b, s)
+			sse += d * d
+			count++
+		}
+	}
+	mse := sse / float64(count)
+	// The paper reports MSE < 1.6e-4; simulated data is noisier, but the
+	// estimate must still be tight.
+	if mse > 0.01 {
+		t.Errorf("estimation MSE = %v, want <= 0.01", mse)
+	}
+}
+
+func TestEstimatorExactForSmallSubsets(t *testing.T) {
+	scores, agree, e := tmFixture(t, 1000, 7)
+	p := Build(Config{M: e.M(), Bins: 5}, scores, agree)
+	est := NewEstimator(p, DefaultGammas(e.M()))
+	for b := 0; b < p.Bins; b++ {
+		for _, s := range ensemble.AllSubsets(e.M()) {
+			if s.Size() > 2 {
+				continue
+			}
+			if est.Reward(b, s) != p.RewardBin(b, s) {
+				t.Fatalf("size<=2 estimate differs from measurement for %v", s)
+			}
+		}
+	}
+	if est.Reward(0, ensemble.Empty) != 0 {
+		t.Error("empty estimate should be 0")
+	}
+}
+
+func TestFitGammasInRange(t *testing.T) {
+	scores, agree, e := sixModelFixture(t, 1500)
+	p := Build(Config{M: e.M(), Bins: 5}, scores, agree)
+	for k, g := range FitGammas(p) {
+		if g < 0 || g > 1 {
+			t.Errorf("gamma[%d] = %v out of [0,1]", k, g)
+		}
+	}
+}
+
+func TestDefaultGammasGeometric(t *testing.T) {
+	g := DefaultGammas(5)
+	if math.Abs(g[2]-0.6) > 1e-12 || math.Abs(g[3]-0.36) > 1e-12 {
+		t.Errorf("default gammas = %v", g)
+	}
+}
+
+func TestRewarderForLargeEnsembles(t *testing.T) {
+	scores, agree, e := sixModelFixture(t, 1500)
+	p := Build(Config{M: e.M(), Bins: 5}, scores, agree)
+	est := NewEstimator(p, FitGammas(p))
+	r := RewarderFor(p, est)
+	// Small subsets match the measured table exactly.
+	for _, s := range ensemble.SubsetsOfSize(e.M(), 2) {
+		if r.Reward(0.3, s) != p.Reward(0.3, s) {
+			t.Fatalf("pair reward mismatch for %v", s)
+		}
+	}
+	// Large subsets are estimated, in range, and at least as good as the
+	// best measured pair they contain.
+	full := ensemble.Full(e.M())
+	got := r.Reward(0.3, full)
+	if got < 0 || got > 1 {
+		t.Fatalf("estimated reward out of range: %v", got)
+	}
+	if r.Reward(0.3, ensemble.Empty) != 0 {
+		t.Error("empty reward should be 0")
+	}
+}

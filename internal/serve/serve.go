@@ -1,0 +1,369 @@
+// Package serve is the real-time concurrent counterpart of the discrete
+// event simulator: one worker goroutine per deployed base model, a
+// coordinator goroutine that owns the query buffer and runs the scheduler,
+// and channel-based task dispatch. Model execution is simulated by
+// sleeping for the model's (scaled) latency, so examples can replay a
+// trace in compressed wall-clock time while exercising the same scheduling
+// logic the paper deploys.
+//
+// Lifecycle: New -> Start(ctx) -> Submit()... -> Stop. Every submitted
+// request resolves exactly once: with its aggregated output, or as a miss.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/discrepancy"
+	"schemble/internal/ensemble"
+	"schemble/internal/model"
+	"schemble/internal/rng"
+)
+
+// Config configures a Server.
+type Config struct {
+	Ensemble *ensemble.Ensemble
+	// Scheduler and Rewarder drive subset selection (the Schemble path).
+	Scheduler core.Scheduler
+	Rewarder  core.Rewarder
+	// Estimator predicts discrepancy scores; nil scores everything 0.5.
+	Estimator discrepancy.ScoreEstimator
+	// TimeScale compresses simulated model latencies: 0.1 runs 10x faster
+	// than real time. Defaults to 1.
+	TimeScale float64
+	// QueueDepth bounds each model's task channel (default 1024).
+	QueueDepth int
+	Seed       uint64
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	Output  model.Output
+	Subset  ensemble.Subset
+	Missed  bool
+	Latency time.Duration
+}
+
+// request tracks one in-flight query.
+type request struct {
+	sample   *dataset.Sample
+	arrived  time.Time
+	deadline time.Time
+	score    float64
+
+	mu        sync.Mutex
+	outs      []model.Output
+	remaining int
+	subset    ensemble.Subset
+	resolved  bool
+	done      chan Result
+}
+
+// Server is a running ensemble-serving instance.
+type Server struct {
+	cfg    Config
+	scale  float64
+	taskCh []chan *task
+	events chan event
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+	src    *rng.Source
+	srcMu  sync.Mutex
+}
+
+type task struct {
+	req *request
+	k   int
+}
+
+type evKind int
+
+const (
+	evSubmit evKind = iota
+	evTaskDone
+	evDeadline
+)
+
+type event struct {
+	kind evKind
+	req  *request
+	k    int
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	if cfg.Ensemble == nil || cfg.Scheduler == nil || cfg.Rewarder == nil {
+		panic("serve: Ensemble, Scheduler and Rewarder are required")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	s := &Server{
+		cfg:    cfg,
+		scale:  cfg.TimeScale,
+		events: make(chan event, 4*cfg.QueueDepth),
+		src:    rng.New(cfg.Seed ^ 0x5e7e),
+	}
+	for range cfg.Ensemble.Models {
+		s.taskCh = append(s.taskCh, make(chan *task, cfg.QueueDepth))
+	}
+	return s
+}
+
+// Start launches the workers and the coordinator. It returns immediately;
+// cancel the context or call Stop to shut down.
+func (s *Server) Start(ctx context.Context) {
+	ctx, s.cancel = context.WithCancel(ctx)
+	s.ctx = ctx
+	s.start = time.Now()
+	for k := range s.taskCh {
+		k := k
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker(ctx, k)
+		}()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.coordinate(ctx)
+	}()
+}
+
+// Stop shuts the server down and waits for goroutines to exit. In-flight
+// requests resolve as missed.
+func (s *Server) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+}
+
+// Submit enqueues a query with a relative deadline and returns the channel
+// its Result will arrive on. Start must have been called first.
+func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan Result {
+	if s.ctx == nil {
+		panic("serve: Submit before Start")
+	}
+	now := time.Now()
+	score := 0.5
+	if s.cfg.Estimator != nil {
+		score = s.cfg.Estimator.Predict(sample)
+	}
+	req := &request{
+		sample:   sample,
+		arrived:  now,
+		deadline: now.Add(time.Duration(float64(deadline) * s.scale)),
+		score:    score,
+		done:     make(chan Result, 1),
+	}
+	select {
+	case s.events <- event{kind: evSubmit, req: req}:
+	case <-s.ctx.Done():
+		s.resolve(req, Result{Missed: true})
+		return req.done
+	}
+	// A timer turns the deadline into an event so the coordinator can
+	// resolve never-scheduled requests.
+	time.AfterFunc(time.Until(req.deadline), func() {
+		select {
+		case s.events <- event{kind: evDeadline, req: req}:
+		default:
+		}
+	})
+	return req.done
+}
+
+// worker executes tasks for model k serially, sleeping for the scaled
+// latency, then reports completion.
+func (s *Server) worker(ctx context.Context, k int) {
+	m := s.cfg.Ensemble.Models[k]
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-s.taskCh[k]:
+			s.srcMu.Lock()
+			lat := m.SampleLatency(s.src)
+			s.srcMu.Unlock()
+			timer := time.NewTimer(time.Duration(float64(lat) * s.scale))
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			out := m.Predict(t.req.sample)
+			t.req.mu.Lock()
+			t.req.outs[k] = out
+			t.req.remaining--
+			finished := t.req.remaining == 0
+			t.req.mu.Unlock()
+			if finished {
+				select {
+				case s.events <- event{kind: evTaskDone, req: t.req, k: k}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}
+}
+
+// coordinate owns the buffer and the scheduler.
+func (s *Server) coordinate(ctx context.Context) {
+	var buffer []*request
+	m := s.cfg.Ensemble.M()
+	exec := make([]time.Duration, m)
+	for k, md := range s.cfg.Ensemble.Models {
+		// Plan with 10% headroom so latency jitter does not turn
+		// feasible-looking plans into deadline misses.
+		exec[k] = time.Duration(float64(md.MeanLatency()) * 1.1)
+	}
+	// busyUntil approximates, in unscaled virtual time since start, when
+	// each model drains its queue.
+	busyUntil := make([]time.Duration, m)
+	// inflight tracks committed-but-unfinished requests so shutdown can
+	// resolve them.
+	inflight := make(map[*request]bool)
+
+	now := func() time.Duration {
+		return time.Duration(float64(time.Since(s.start)) / s.scale)
+	}
+
+	dispatch := func() {
+		if len(buffer) == 0 {
+			return
+		}
+		t := now()
+		infos := make([]core.QueryInfo, len(buffer))
+		for i, r := range buffer {
+			infos[i] = core.QueryInfo{
+				ID:       i,
+				Arrival:  time.Duration(float64(r.arrived.Sub(s.start)) / s.scale),
+				Deadline: time.Duration(float64(r.deadline.Sub(s.start)) / s.scale),
+				Score:    r.score,
+			}
+		}
+		plan := s.cfg.Scheduler.Schedule(t, infos, busyUntil, exec, s.cfg.Rewarder)
+		var kept []*request
+		for i, r := range buffer {
+			sub := plan.Subset(i)
+			if sub == ensemble.Empty {
+				kept = append(kept, r)
+				continue
+			}
+			// Commit only when at least one chosen model is free.
+			free := false
+			for _, k := range sub.Models() {
+				if busyUntil[k] <= t {
+					free = true
+					break
+				}
+			}
+			if !free {
+				kept = append(kept, r)
+				continue
+			}
+			r.mu.Lock()
+			r.subset = sub
+			r.remaining = sub.Size()
+			r.outs = make([]model.Output, m)
+			r.mu.Unlock()
+			inflight[r] = true
+			for _, k := range sub.Models() {
+				start := busyUntil[k]
+				if start < t {
+					start = t
+				}
+				busyUntil[k] = start + exec[k]
+				select {
+				case s.taskCh[k] <- &task{req: r, k: k}:
+				default:
+					// Queue overflow: treat as missed.
+					s.resolve(r, Result{Missed: true})
+				}
+			}
+		}
+		buffer = kept
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			for _, r := range buffer {
+				s.resolve(r, Result{Missed: true})
+			}
+			for r := range inflight {
+				s.resolve(r, Result{Missed: true})
+			}
+			// Drain events that raced with shutdown so their requests
+			// still resolve.
+			for {
+				select {
+				case e := <-s.events:
+					if e.kind == evSubmit {
+						s.resolve(e.req, Result{Missed: true})
+					}
+				default:
+					return
+				}
+			}
+		case e := <-s.events:
+			switch e.kind {
+			case evSubmit:
+				buffer = append(buffer, e.req)
+			case evTaskDone:
+				r := e.req
+				delete(inflight, r)
+				r.mu.Lock()
+				outs, sub := r.outs, r.subset
+				r.mu.Unlock()
+				out := s.cfg.Ensemble.Predict(outs, sub)
+				late := time.Now().After(r.deadline)
+				s.resolve(r, Result{
+					Output:  out,
+					Subset:  sub,
+					Missed:  late,
+					Latency: time.Duration(float64(time.Since(r.arrived)) / s.scale),
+				})
+			case evDeadline:
+				r := e.req
+				r.mu.Lock()
+				started := r.subset != ensemble.Empty
+				r.mu.Unlock()
+				if !started {
+					// Never scheduled: drop from the buffer and miss.
+					for i, b := range buffer {
+						if b == r {
+							buffer = append(buffer[:i], buffer[i+1:]...)
+							break
+						}
+					}
+					s.resolve(r, Result{Missed: true})
+				}
+			}
+			dispatch()
+		}
+	}
+}
+
+// resolve delivers a result exactly once.
+func (s *Server) resolve(r *request, res Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.resolved {
+		return
+	}
+	r.resolved = true
+	r.done <- res
+}

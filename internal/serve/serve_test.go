@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/ensemble"
+	"schemble/internal/mathx"
+	"schemble/internal/model"
+	"schemble/internal/pipeline"
+)
+
+var (
+	artOnce sync.Once
+	art     *pipeline.Artifacts
+)
+
+func artifacts(t *testing.T) *pipeline.Artifacts {
+	t.Helper()
+	artOnce.Do(func() {
+		ds := dataset.TextMatching(dataset.Config{N: 1200, Seed: 55})
+		art = pipeline.Build(pipeline.Config{
+			Dataset: ds, Models: model.TextMatchingModels(55),
+			PredictorEpochs: 25, Seed: 55,
+		})
+	})
+	return art
+}
+
+func newServer(t *testing.T, a *pipeline.Artifacts) *Server {
+	t.Helper()
+	return New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: 0.1, // 10x faster than "real" model latencies
+		Seed:      1,
+	})
+}
+
+func TestServeLightLoad(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	s.Start(context.Background())
+	defer s.Stop()
+
+	const n = 40
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.Submit(a.Serve[i], 600*time.Millisecond)
+		time.Sleep(25 * time.Millisecond) // ~ light arrival spacing at 10x
+	}
+	missed, agree := 0, 0
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Missed {
+				missed++
+				continue
+			}
+			if mathx.ArgMax(r.Output.Probs) == mathx.ArgMax(a.Refs[a.Serve[i].ID].Probs) {
+				agree++
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never resolved", i)
+		}
+	}
+	if missed > n/10 {
+		t.Errorf("light load missed %d/%d", missed, n)
+	}
+	done := n - missed
+	if done > 0 && float64(agree)/float64(done) < 0.9 {
+		t.Errorf("agreement %d/%d too low", agree, done)
+	}
+}
+
+func TestServeOverloadSheds(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	s.Start(context.Background())
+	defer s.Stop()
+
+	// Submit a large burst at once with a tight deadline: some must miss,
+	// but every request must resolve.
+	const n = 120
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.Submit(a.Serve[i%len(a.Serve)], 150*time.Millisecond)
+	}
+	resolved := 0
+	for i, ch := range chans {
+		select {
+		case <-ch:
+			resolved++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never resolved", i)
+		}
+	}
+	if resolved != n {
+		t.Errorf("resolved %d/%d", resolved, n)
+	}
+}
+
+func TestServeStopResolvesInFlight(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+
+	ch := s.Submit(a.Serve[0], 10*time.Second)
+	cancel()
+	s.Stop()
+	select {
+	case <-ch:
+		// Resolved (either served before cancel or missed on shutdown).
+	case <-time.After(2 * time.Second):
+		t.Fatal("request not resolved on shutdown")
+	}
+}
+
+func TestServeSubsetAdaptsToBurst(t *testing.T) {
+	a := artifacts(t)
+	s := New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: 0.5, // gentle compression: wall overheads stay small in virtual time
+		Seed:      1,
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+
+	// Burst: mean executed subset size should drop below the full size.
+	const n = 40
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.Submit(a.Serve[i%len(a.Serve)], 600*time.Millisecond)
+	}
+	var sizeSum, done int
+	for _, ch := range chans {
+		r := <-ch
+		if !r.Missed {
+			sizeSum += r.Subset.Size()
+			done++
+		}
+	}
+	if done == 0 {
+		t.Fatal("nothing served")
+	}
+	if mean := float64(sizeSum) / float64(done); mean > 2.7 {
+		t.Errorf("burst mean subset size = %v, expected shedding below full ensemble", mean)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	a := artifacts(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("missing scheduler did not panic")
+		}
+	}()
+	New(Config{Ensemble: a.Ensemble})
+}
+
+func TestEnsembleSubsetRecorded(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	s.Start(context.Background())
+	defer s.Stop()
+	r := <-s.Submit(a.Serve[0], time.Second)
+	if r.Missed {
+		t.Fatal("uncontended request missed")
+	}
+	if r.Subset == ensemble.Empty {
+		t.Error("no subset recorded")
+	}
+	if r.Latency <= 0 {
+		t.Error("no latency recorded")
+	}
+}

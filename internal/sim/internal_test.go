@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	push := func(at time.Duration, seq int) {
+		heap.Push(&h, &event{at: at, seq: seq})
+	}
+	push(30*time.Millisecond, 2)
+	push(10*time.Millisecond, 5)
+	push(30*time.Millisecond, 1) // same time, earlier seq
+	push(20*time.Millisecond, 3)
+
+	var got []int
+	for h.Len() > 0 {
+		got = append(got, heap.Pop(&h).(*event).seq)
+	}
+	want := []int{5, 3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortQueriesEDF(t *testing.T) {
+	qs := []*query{
+		{id: 3, deadline: 100 * time.Millisecond},
+		{id: 1, deadline: 50 * time.Millisecond},
+		{id: 2, deadline: 100 * time.Millisecond},
+	}
+	sortQueriesEDF(qs)
+	wantIDs := []int{1, 2, 3} // earliest deadline first; ties by id
+	for i, q := range qs {
+		if q.id != wantIDs[i] {
+			t.Fatalf("order %v, want %v", ids(qs), wantIDs)
+		}
+	}
+}
+
+func ids(qs []*query) []int {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		out[i] = q.id
+	}
+	return out
+}
+
+func TestFilterQueries(t *testing.T) {
+	qs := []*query{{id: 1}, {id: 2}, {id: 3}}
+	kept := filterQueries(qs, func(q *query) bool { return q.id != 2 })
+	if len(kept) != 2 || kept[0].id != 1 || kept[1].id != 3 {
+		t.Fatalf("filter result %v", ids(kept))
+	}
+	none := filterQueries(kept, func(*query) bool { return false })
+	if len(none) != 0 {
+		t.Fatal("filter-all left residue")
+	}
+}

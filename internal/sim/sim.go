@@ -1,0 +1,563 @@
+// Package sim is the discrete-event serving simulator: virtual clock, one
+// serial task queue per deployed model instance, a central query buffer for
+// the Schemble family, deadline tracking, and per-query outcome records.
+//
+// Two selection modes cover every baseline in the paper:
+//
+//   - immediate mode (Original, Static, DES, Gating): a Select function
+//     picks the model subset the moment a query arrives; tasks are enqueued
+//     to the chosen servers' FIFO queues right away. With rejection enabled
+//     the query is rejected up front when its estimated completion exceeds
+//     its deadline.
+//
+//   - buffered mode (Schemble, Schemble(ea), Schemble(t), scheduler
+//     ablations): arriving queries wait in the query buffer; a core.Scheduler
+//     re-plans whenever a query becomes ready or a model goes idle, and
+//     tasks are dispatched to idle models per plan in EDF order. The
+//     discrepancy predictor's latency and the scheduler's own compute cost
+//     are charged in virtual time.
+//
+// Determinism: all latency jitter comes from a seeded rng.Source and the
+// event heap breaks time ties by sequence number, so a (Config, Trace) pair
+// always produces identical records.
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/discrepancy"
+	"schemble/internal/ensemble"
+	"schemble/internal/metrics"
+	"schemble/internal/model"
+	"schemble/internal/rng"
+	"schemble/internal/trace"
+)
+
+// Config configures one simulation run.
+type Config struct {
+	// Ensemble supplies the model types and the aggregator.
+	Ensemble *ensemble.Ensemble
+	// Replicas[j] is how many server instances of model type j are
+	// deployed; nil means one each (the standard deployment). The static
+	// baseline uses replicas to harness memory freed by dropped models.
+	Replicas []int
+	// Refs[sampleID] is the full ensemble's output per sample — the
+	// ground-truth reference.
+	Refs []model.Output
+	// Scorer measures agreement of served outputs against Refs.
+	Scorer *ensemble.Scorer
+
+	// Select enables immediate mode: it maps an arriving sample to the
+	// model-type subset to execute. Exactly one of Select / Scheduler must
+	// be set.
+	Select func(s *dataset.Sample) ensemble.Subset
+
+	// Scheduler + Rewarder + Estimator enable buffered mode.
+	Scheduler core.Scheduler
+	Rewarder  core.Rewarder
+	Estimator discrepancy.ScoreEstimator
+	// ScoreDelay is the predictor's inference latency: a buffered query
+	// becomes schedulable only ScoreDelay after arrival.
+	ScoreDelay time.Duration
+	// SchedOverhead maps the buffer length at a planning event to the
+	// scheduler's own compute time, charged before dispatch (Exp-4/Exp-8:
+	// small delta makes planning itself slow). nil means free.
+	SchedOverhead func(buffered int) time.Duration
+
+	// ForceProcess disables rejection (Exp-2): immediate mode enqueues
+	// unconditionally; buffered queries that the scheduler keeps skipping
+	// fall back to the fastest single model once their deadline passes,
+	// and late completions are not counted as misses.
+	ForceProcess bool
+
+	// EstimateMargin pads the execution-time estimates used for admission
+	// and scheduling feasibility (0.1 = plan with 10% headroom), so
+	// latency jitter does not turn feasible-looking plans into misses.
+	// Negative disables; zero means the 0.1 default.
+	EstimateMargin float64
+
+	// FastFirst enables the paper's Exp-5 optimization: when a query
+	// arrives to an empty buffer and an idle fastest model, it bypasses
+	// the predictor and the scheduler entirely and runs on the fastest
+	// model immediately — eliminating the extra waiting time at the cost
+	// of single-model accuracy on those queries.
+	FastFirst bool
+
+	// BatchSize lets each model execute up to this many queued tasks as
+	// one batch (1 or 0 disables). Batch latency is
+	// base * (1 + (n-1)*BatchMarginal): throughput rises, per-item
+	// latency rises with it — the classic serving alternative to
+	// per-query scheduling that the abl-batch study contrasts with
+	// Schemble under deadlines.
+	BatchSize int
+	// BatchMarginal is the per-extra-item latency fraction (default 0.15).
+	BatchMarginal float64
+
+	Seed uint64
+}
+
+// event kinds.
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evReady
+	evTaskDone
+	evDeadline
+	evPlan
+)
+
+type event struct {
+	at   time.Duration
+	seq  int
+	kind evKind
+	// payload
+	arrIdx int
+	q      *query
+	server int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type query struct {
+	id       int
+	sample   *dataset.Sample
+	arrival  time.Duration
+	deadline time.Duration
+	score    float64
+
+	committed bool
+	subset    ensemble.Subset
+	remaining int
+	outs      []model.Output
+	finished  bool
+}
+
+type task struct {
+	q       *query
+	typeIdx int
+}
+
+type server struct {
+	typeIdx int
+	// busyUntil is when the in-flight task (if any) finishes.
+	busyUntil time.Duration
+	running   bool
+	queue     []*task
+	// backlogEnd estimates when everything currently queued finishes
+	// (mean latencies); used for admission estimates and as the
+	// scheduler's availability signal.
+	backlogEnd time.Duration
+}
+
+// sim is one run's mutable state.
+type sim struct {
+	cfg     Config
+	samples []*dataset.Sample
+	events  eventHeap
+	seq     int
+	now     time.Duration
+
+	servers []*server
+	// byType[j] lists server indices of model type j.
+	byType [][]int
+	exec   []time.Duration // mean exec per model type
+
+	buffer      []*query
+	planPending bool
+
+	src     *rng.Source
+	records []metrics.Record
+	tr      *trace.Trace
+}
+
+// Run simulates the trace against the configured pipeline and returns one
+// record per arrival, ordered by query ID (= trace order).
+func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Record {
+	if (cfg.Select == nil) == (cfg.Scheduler == nil) {
+		panic("sim: exactly one of Select / Scheduler must be set")
+	}
+	if cfg.Scheduler != nil && cfg.Rewarder == nil {
+		panic("sim: buffered mode needs a Rewarder")
+	}
+	s := &sim{
+		cfg:     cfg,
+		samples: samples,
+		src:     rng.New(cfg.Seed ^ 0x51ba),
+		tr:      tr,
+		records: make([]metrics.Record, tr.N()),
+	}
+	m := cfg.Ensemble.M()
+	replicas := cfg.Replicas
+	if replicas == nil {
+		replicas = make([]int, m)
+		for j := range replicas {
+			replicas[j] = 1
+		}
+	}
+	margin := cfg.EstimateMargin
+	if margin == 0 {
+		margin = 0.1
+	}
+	if margin < 0 {
+		margin = 0
+	}
+	s.byType = make([][]int, m)
+	s.exec = make([]time.Duration, m)
+	for j := 0; j < m; j++ {
+		s.exec[j] = time.Duration(float64(cfg.Ensemble.Models[j].MeanLatency()) * (1 + margin))
+		for r := 0; r < replicas[j]; r++ {
+			s.byType[j] = append(s.byType[j], len(s.servers))
+			s.servers = append(s.servers, &server{typeIdx: j})
+		}
+	}
+	for i := range tr.Arrivals {
+		s.push(&event{at: tr.Arrivals[i].At, kind: evArrival, arrIdx: i})
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.handle(e)
+	}
+	return s.records
+}
+
+func (s *sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *sim) handle(e *event) {
+	switch e.kind {
+	case evArrival:
+		s.onArrival(e.arrIdx)
+	case evReady:
+		s.buffer = append(s.buffer, e.q)
+		s.schedulePlan()
+	case evTaskDone:
+		s.finishTask(e.q)
+		s.onTaskDone(e.server)
+	case evDeadline:
+		s.onDeadline(e.q)
+	case evPlan:
+		s.planPending = false
+		s.planAndDispatch()
+	}
+}
+
+// onArrival admits a new query in the appropriate mode.
+func (s *sim) onArrival(arrIdx int) {
+	a := s.tr.Arrivals[arrIdx]
+	q := &query{
+		id:       arrIdx,
+		sample:   s.samples[a.SampleIdx],
+		arrival:  a.At,
+		deadline: a.Deadline,
+	}
+	s.records[q.id] = metrics.Record{
+		QueryID:  q.id,
+		SampleID: q.sample.ID,
+		CameraID: q.sample.CameraID,
+		Arrival:  q.arrival,
+		Deadline: q.deadline,
+		Missed:   true, // flipped on successful completion
+	}
+	if s.cfg.Select != nil {
+		s.immediateAdmit(q)
+		return
+	}
+	// Fast path (Exp-5): empty buffer + idle fastest model -> bypass
+	// scoring and scheduling, dispatch to the fastest model now.
+	if s.cfg.FastFirst && len(s.buffer) == 0 {
+		fastest := 0
+		for j := 1; j < s.cfg.Ensemble.M(); j++ {
+			if s.exec[j] < s.exec[fastest] {
+				fastest = j
+			}
+		}
+		sv := s.servers[s.byType[fastest][0]]
+		if !sv.running && len(sv.queue) == 0 {
+			s.commit(q, ensemble.Single(fastest))
+			return
+		}
+	}
+	// Buffered mode: the query becomes schedulable once the discrepancy
+	// predictor has scored it.
+	if s.cfg.Estimator != nil {
+		q.score = s.cfg.Estimator.Predict(q.sample)
+	}
+	s.push(&event{at: s.now + s.cfg.ScoreDelay, kind: evReady, q: q})
+	s.push(&event{at: q.deadline, kind: evDeadline, q: q})
+}
+
+// immediateAdmit implements the arrival path of the immediate-selection
+// baselines.
+func (s *sim) immediateAdmit(q *query) {
+	sub := s.cfg.Select(q.sample)
+	if sub == ensemble.Empty {
+		return // policy rejected outright; record stays missed
+	}
+	// Choose the least-backlogged replica per selected type and estimate
+	// completion.
+	chosen := make([]int, 0, sub.Size())
+	var est time.Duration
+	for _, j := range sub.Models() {
+		best := -1
+		for _, si := range s.byType[j] {
+			if best < 0 || s.servers[si].backlogEnd < s.servers[best].backlogEnd {
+				best = si
+			}
+		}
+		sv := s.servers[best]
+		start := sv.backlogEnd
+		if start < s.now {
+			start = s.now
+		}
+		finish := start + s.exec[j]
+		if finish > est {
+			est = finish
+		}
+		chosen = append(chosen, best)
+	}
+	if !s.cfg.ForceProcess && est > q.deadline {
+		return // rejected: estimated completion exceeds the deadline
+	}
+	q.committed = true
+	q.subset = sub
+	q.remaining = len(chosen)
+	q.outs = make([]model.Output, s.cfg.Ensemble.M())
+	for _, si := range chosen {
+		s.enqueue(si, &task{q: q, typeIdx: s.servers[si].typeIdx})
+	}
+}
+
+// enqueue appends a task to a server's FIFO queue and starts it if idle.
+// With batching enabled the backlog estimate uses the amortized per-item
+// cost, so admission does not over-reject.
+func (s *sim) enqueue(si int, t *task) {
+	sv := s.servers[si]
+	start := sv.backlogEnd
+	if start < s.now {
+		start = s.now
+	}
+	cost := s.exec[sv.typeIdx]
+	if b := s.cfg.BatchSize; b > 1 {
+		marginal := s.cfg.BatchMarginal
+		if marginal == 0 {
+			marginal = 0.15
+		}
+		cost = time.Duration(float64(cost) * (1 + float64(b-1)*marginal) / float64(b))
+	}
+	sv.backlogEnd = start + cost
+	sv.queue = append(sv.queue, t)
+	s.maybeStart(si)
+}
+
+// maybeStart begins the next queued task (or batch) when the server is
+// idle.
+func (s *sim) maybeStart(si int) {
+	sv := s.servers[si]
+	if sv.running || len(sv.queue) == 0 {
+		return
+	}
+	n := 1
+	if s.cfg.BatchSize > 1 {
+		n = s.cfg.BatchSize
+		if n > len(sv.queue) {
+			n = len(sv.queue)
+		}
+	}
+	batch := sv.queue[:n]
+	sv.queue = sv.queue[n:]
+	marginal := s.cfg.BatchMarginal
+	if marginal == 0 {
+		marginal = 0.15
+	}
+	dur := s.cfg.Ensemble.Models[sv.typeIdx].SampleLatency(s.src)
+	dur = time.Duration(float64(dur) * (1 + float64(n-1)*marginal))
+	sv.running = true
+	sv.busyUntil = s.now + dur
+	for _, t := range batch {
+		// The model's output is materialized when the batch completes.
+		t.q.outs[sv.typeIdx] = s.cfg.Ensemble.Models[sv.typeIdx].Predict(t.q.sample)
+		s.push(&event{at: sv.busyUntil, kind: evTaskDone, server: si, q: t.q})
+	}
+}
+
+// onTaskDone advances the server's queue after its in-flight task finished.
+func (s *sim) onTaskDone(si int) {
+	sv := s.servers[si]
+	sv.running = false
+	// Re-anchor the backlog estimate on the actual completion time so
+	// latency jitter cannot accumulate drift.
+	sv.backlogEnd = s.now + time.Duration(len(sv.queue))*s.exec[sv.typeIdx]
+	s.maybeStart(si)
+	if s.cfg.Scheduler != nil {
+		s.schedulePlan()
+	}
+}
+
+// finishTask is invoked from handle for evTaskDone before queue advance.
+func (s *sim) finishTask(q *query) {
+	q.remaining--
+	if q.remaining > 0 || q.finished {
+		return
+	}
+	q.finished = true
+	rec := &s.records[q.id]
+	rec.Done = s.now
+	rec.Subset = q.subset
+	late := s.now > q.deadline
+	if late && !s.cfg.ForceProcess {
+		// Completed after the deadline: counts as a miss.
+		return
+	}
+	rec.Missed = false
+	out := s.cfg.Ensemble.Predict(q.outs, q.subset)
+	rec.Agreement = s.cfg.Scorer.Score(out, s.cfg.Refs[q.sample.ID])
+}
+
+// schedulePlan coalesces planning requests: at most one pending evPlan.
+func (s *sim) schedulePlan() {
+	if s.planPending || len(s.buffer) == 0 {
+		return
+	}
+	var overhead time.Duration
+	if s.cfg.SchedOverhead != nil {
+		overhead = s.cfg.SchedOverhead(len(s.buffer))
+	}
+	s.planPending = true
+	s.push(&event{at: s.now + overhead, kind: evPlan})
+}
+
+// planAndDispatch runs the scheduler over the buffer and commits queries to
+// idle servers in EDF order.
+func (s *sim) planAndDispatch() {
+	if len(s.buffer) == 0 {
+		return
+	}
+	m := s.cfg.Ensemble.M()
+	infos := make([]core.QueryInfo, len(s.buffer))
+	for i, q := range s.buffer {
+		infos[i] = core.QueryInfo{
+			ID: q.id, Arrival: q.arrival, Deadline: q.deadline, Score: q.score,
+		}
+	}
+	avail := make([]time.Duration, m)
+	for j := 0; j < m; j++ {
+		avail[j] = s.servers[s.byType[j][0]].backlogEnd
+	}
+	plan := s.cfg.Scheduler.Schedule(s.now, infos, avail, s.exec, s.cfg.Rewarder)
+
+	// Dispatch: walk buffered queries in EDF order; commit a query as soon
+	// as one of its planned models is idle (its other tasks queue behind
+	// busy models, which is the paper's per-model task buffer).
+	order := make([]*query, len(s.buffer))
+	copy(order, s.buffer)
+	sortQueriesEDF(order)
+	idle := func(j int) bool {
+		sv := s.servers[s.byType[j][0]]
+		return !sv.running && len(sv.queue) == 0
+	}
+	committed := map[int]bool{}
+	for _, q := range order {
+		sub := plan.Subset(q.id)
+		if sub == ensemble.Empty {
+			continue
+		}
+		anyIdle := false
+		for _, j := range sub.Models() {
+			if idle(j) {
+				anyIdle = true
+				break
+			}
+		}
+		if !anyIdle {
+			continue
+		}
+		s.commit(q, sub)
+		committed[q.id] = true
+	}
+	if len(committed) > 0 {
+		s.buffer = filterQueries(s.buffer, func(q *query) bool { return !committed[q.id] })
+		// Committing may have left other planned queries adjacent to idle
+		// servers; re-plan cheaply at the same instant.
+		s.schedulePlan()
+	}
+}
+
+// commit locks a buffered query onto a subset and enqueues its tasks.
+func (s *sim) commit(q *query, sub ensemble.Subset) {
+	q.committed = true
+	q.subset = sub
+	q.remaining = sub.Size()
+	q.outs = make([]model.Output, s.cfg.Ensemble.M())
+	for _, j := range sub.Models() {
+		s.enqueue(s.byType[j][0], &task{q: q, typeIdx: j})
+	}
+}
+
+// onDeadline handles a buffered query's deadline passing uncommitted.
+func (s *sim) onDeadline(q *query) {
+	if q.committed || q.finished {
+		return
+	}
+	s.buffer = filterQueries(s.buffer, func(x *query) bool { return x != q })
+	if s.cfg.ForceProcess {
+		// Fall back to the fastest single model; latency is recorded,
+		// the query is not counted as missed.
+		fastest := 0
+		for j := 1; j < s.cfg.Ensemble.M(); j++ {
+			if s.exec[j] < s.exec[fastest] {
+				fastest = j
+			}
+		}
+		s.commit(q, ensemble.Single(fastest))
+	}
+	// Otherwise the record simply stays missed.
+}
+
+func sortQueriesEDF(qs []*query) {
+	for i := 1; i < len(qs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := qs[j-1], qs[j]
+			if b.deadline < a.deadline ||
+				(b.deadline == a.deadline && b.id < a.id) {
+				qs[j-1], qs[j] = qs[j], qs[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func filterQueries(qs []*query, keep func(*query) bool) []*query {
+	out := qs[:0]
+	for _, q := range qs {
+		if keep(q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}

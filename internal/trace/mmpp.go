@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/rng"
+)
+
+// MMPPConfig configures a Markov-modulated Poisson process trace: arrivals
+// follow a Poisson process whose rate switches between states of a
+// continuous-time Markov chain. MMPP captures the abrupt load shifts of
+// real query streams better than a fixed-rate Poisson process and is the
+// standard burstiness model in the serving literature; the abl-traffic
+// study uses it to check that Schemble's advantage is not an artifact of
+// the diurnal trace's specific shape.
+type MMPPConfig struct {
+	// Rates are the per-state arrival rates (queries/second).
+	Rates []float64
+	// MeanHold is the mean sojourn time in each state; defaults to 2s for
+	// every state.
+	MeanHold []time.Duration
+	// N is the number of arrivals to generate.
+	N int
+	// Samples is the pool drawn from.
+	Samples []*dataset.Sample
+	// Deadline assigns relative deadlines.
+	Deadline DeadlinePolicy
+	Seed     uint64
+}
+
+// MMPP generates a Markov-modulated Poisson trace. State transitions are
+// uniform over the other states.
+func MMPP(cfg MMPPConfig) *Trace {
+	if len(cfg.Rates) == 0 || cfg.N <= 0 || len(cfg.Samples) == 0 {
+		panic("trace: bad MMPP config")
+	}
+	hold := cfg.MeanHold
+	if hold == nil {
+		hold = make([]time.Duration, len(cfg.Rates))
+		for i := range hold {
+			hold[i] = 2 * time.Second
+		}
+	}
+	if len(hold) != len(cfg.Rates) {
+		panic("trace: MeanHold length mismatch")
+	}
+	src := rng.New(cfg.Seed ^ 0x3333)
+	t := &Trace{}
+	state := 0
+	var now time.Duration
+	stateEnd := time.Duration(src.Exponential(1/hold[state].Seconds()) * float64(time.Second))
+	for len(t.Arrivals) < cfg.N {
+		gap := time.Duration(src.Exponential(cfg.Rates[state]) * float64(time.Second))
+		next := now + gap
+		// Cross state boundaries before the next arrival lands.
+		for next >= stateEnd {
+			// Jump to a uniformly random other state (or stay when there
+			// is only one).
+			if len(cfg.Rates) > 1 {
+				j := src.Intn(len(cfg.Rates) - 1)
+				if j >= state {
+					j++
+				}
+				state = j
+			}
+			// Restart the arrival gap from the boundary under the new
+			// rate (memorylessness makes this exact).
+			now = stateEnd
+			stateEnd = now + time.Duration(src.Exponential(1/hold[state].Seconds())*float64(time.Second))
+			gap = time.Duration(src.Exponential(cfg.Rates[state]) * float64(time.Second))
+			next = now + gap
+		}
+		now = next
+		idx := src.Intn(len(cfg.Samples))
+		t.Arrivals = append(t.Arrivals, Arrival{
+			SampleIdx: idx,
+			At:        now,
+			Deadline:  now + cfg.Deadline.Relative(cfg.Samples[idx], src),
+		})
+	}
+	t.Horizon = now
+	return t
+}
+
+// SpikeConfig configures a worst-case spike trace: steady background
+// traffic interrupted by instantaneous bursts of Burst queries arriving
+// simultaneously every Period.
+type SpikeConfig struct {
+	BackgroundRate float64
+	Burst          int
+	Period         time.Duration
+	N              int
+	Samples        []*dataset.Sample
+	Deadline       DeadlinePolicy
+	Seed           uint64
+}
+
+// Spikes generates the spike trace.
+func Spikes(cfg SpikeConfig) *Trace {
+	if cfg.N <= 0 || len(cfg.Samples) == 0 || cfg.Period <= 0 {
+		panic("trace: bad Spike config")
+	}
+	src := rng.New(cfg.Seed ^ 0x5b1c)
+	t := &Trace{}
+	var now time.Duration
+	nextSpike := cfg.Period
+	add := func(at time.Duration) {
+		idx := src.Intn(len(cfg.Samples))
+		t.Arrivals = append(t.Arrivals, Arrival{
+			SampleIdx: idx,
+			At:        at,
+			Deadline:  at + cfg.Deadline.Relative(cfg.Samples[idx], src),
+		})
+	}
+	for len(t.Arrivals) < cfg.N {
+		gap := time.Duration(src.Exponential(cfg.BackgroundRate) * float64(time.Second))
+		next := now + gap
+		if next >= nextSpike {
+			for i := 0; i < cfg.Burst && len(t.Arrivals) < cfg.N; i++ {
+				add(nextSpike)
+			}
+			now = nextSpike
+			nextSpike += cfg.Period
+			continue
+		}
+		now = next
+		add(now)
+	}
+	t.Horizon = now
+	return t
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMMPPBasics(t *testing.T) {
+	tr := MMPP(MMPPConfig{
+		Rates:    []float64{5, 80},
+		N:        4000,
+		Samples:  pool(100),
+		Deadline: ConstantDeadline(100 * time.Millisecond),
+		Seed:     1,
+	})
+	if tr.N() != 4000 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	var prev time.Duration
+	for _, a := range tr.Arrivals {
+		if a.At < prev {
+			t.Fatal("MMPP arrivals not sorted")
+		}
+		prev = a.At
+	}
+	// Burstiness: the variance of per-second counts must exceed the mean
+	// substantially (index of dispersion > 1 distinguishes MMPP from a
+	// plain Poisson process).
+	secs := int(tr.Horizon/time.Second) + 1
+	counts := make([]float64, secs)
+	for _, a := range tr.Arrivals {
+		counts[int(a.At/time.Second)]++
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(len(counts))
+	var variance float64
+	for _, c := range counts {
+		variance += (c - mean) * (c - mean)
+	}
+	variance /= float64(len(counts))
+	if variance < 2*mean {
+		t.Errorf("index of dispersion %.2f, want >> 1 for MMPP", variance/mean)
+	}
+}
+
+func TestMMPPDeterminism(t *testing.T) {
+	cfg := MMPPConfig{
+		Rates: []float64{10, 50}, N: 500, Samples: pool(50),
+		Deadline: ConstantDeadline(time.Second), Seed: 2,
+	}
+	a, b := MMPP(cfg), MMPP(cfg)
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatal("MMPP not deterministic")
+		}
+	}
+}
+
+func TestMMPPSingleStateIsPoissonLike(t *testing.T) {
+	tr := MMPP(MMPPConfig{
+		Rates: []float64{40}, N: 4000, Samples: pool(50),
+		Deadline: ConstantDeadline(time.Second), Seed: 3,
+	})
+	rate := float64(tr.N()) / tr.Horizon.Seconds()
+	if rate < 35 || rate > 45 {
+		t.Errorf("single-state MMPP rate = %v, want ~40", rate)
+	}
+}
+
+func TestSpikes(t *testing.T) {
+	tr := Spikes(SpikeConfig{
+		BackgroundRate: 2,
+		Burst:          50,
+		Period:         2 * time.Second,
+		N:              500,
+		Samples:        pool(50),
+		Deadline:       ConstantDeadline(200 * time.Millisecond),
+		Seed:           4,
+	})
+	if tr.N() != 500 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	// Count simultaneous arrivals at spike instants.
+	counts := map[time.Duration]int{}
+	for _, a := range tr.Arrivals {
+		counts[a.At]++
+	}
+	spikes := 0
+	for _, c := range counts {
+		if c == 50 {
+			spikes++
+		}
+	}
+	if spikes < 3 {
+		t.Errorf("only %d full spikes found", spikes)
+	}
+	var prev time.Duration
+	for _, a := range tr.Arrivals {
+		if a.At < prev {
+			t.Fatal("spike arrivals not sorted")
+		}
+		prev = a.At
+	}
+}
+
+func TestMMPPPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no rates":   func() { MMPP(MMPPConfig{N: 10, Samples: pool(10)}) },
+		"bad spikes": func() { Spikes(SpikeConfig{N: 10, Samples: pool(10)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/rng"
+)
+
+func pool(n int) []*dataset.Sample {
+	ds := dataset.VehicleCounting(dataset.Config{N: n, Seed: 1})
+	return ds.Samples
+}
+
+func TestPoissonBasics(t *testing.T) {
+	tr := Poisson(PoissonConfig{
+		RatePerSec: 50, N: 5000, Samples: pool(100),
+		Deadline: ConstantDeadline(100 * time.Millisecond), Seed: 2,
+	})
+	if tr.N() != 5000 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	var prev time.Duration
+	for _, a := range tr.Arrivals {
+		if a.At < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		if a.Deadline != a.At+100*time.Millisecond {
+			t.Fatal("constant deadline wrong")
+		}
+		if a.SampleIdx < 0 || a.SampleIdx >= 100 {
+			t.Fatalf("sample idx %d", a.SampleIdx)
+		}
+		prev = a.At
+	}
+	// Empirical rate within 5% of nominal.
+	rate := float64(tr.N()) / tr.Horizon.Seconds()
+	if math.Abs(rate-50) > 2.5 {
+		t.Errorf("empirical rate = %v, want ~50", rate)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	cfg := PoissonConfig{RatePerSec: 10, N: 100, Samples: pool(50),
+		Deadline: ConstantDeadline(time.Second), Seed: 3}
+	a, b := Poisson(cfg), Poisson(cfg)
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestOneDayShape(t *testing.T) {
+	tr := OneDay(OneDayConfig{
+		Samples:  pool(200),
+		Deadline: ConstantDeadline(100 * time.Millisecond),
+		Seed:     4,
+	})
+	if tr.N() < 1000 {
+		t.Fatalf("one-day trace too small: %d", tr.N())
+	}
+	// Count arrivals per simulated hour; the burst hours must dominate.
+	perHour := make([]int, 24)
+	for _, a := range tr.Arrivals {
+		perHour[Hour(a.At, 30)]++
+	}
+	night := perHour[2]
+	peak := perHour[14]
+	if night == 0 || peak == 0 {
+		t.Fatal("empty hours in trace")
+	}
+	if ratio := float64(peak) / float64(night); ratio < 15 {
+		t.Errorf("peak/night ratio = %v, want >= 15 (the ~30x burst)", ratio)
+	}
+	// Arrivals must remain sorted across hour boundaries.
+	var prev time.Duration
+	for _, a := range tr.Arrivals {
+		if a.At < prev {
+			t.Fatal("one-day arrivals not sorted")
+		}
+		prev = a.At
+	}
+}
+
+func TestCameraDeadline(t *testing.T) {
+	p := NewCameraDeadline(100*time.Millisecond, 300*time.Millisecond, 5)
+	samples := pool(500)
+	src := rng.New(6)
+	seen := map[int]time.Duration{}
+	for _, s := range samples {
+		d := p.Relative(s, src)
+		if d < 100*time.Millisecond || d > 300*time.Millisecond {
+			t.Fatalf("deadline %v out of range", d)
+		}
+		if prev, ok := seen[s.CameraID]; ok && prev != d {
+			t.Fatalf("camera %d deadline changed: %v vs %v", s.CameraID, prev, d)
+		}
+		seen[s.CameraID] = d
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d cameras seen", len(seen))
+	}
+	distinct := map[time.Duration]bool{}
+	for _, d := range seen {
+		distinct[d] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("camera deadlines not diverse: %d distinct", len(distinct))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := Poisson(PoissonConfig{RatePerSec: 100, N: 1000, Samples: pool(50),
+		Deadline: ConstantDeadline(time.Second), Seed: 7})
+	mid := tr.Horizon / 2
+	w := tr.Window(mid, tr.Horizon)
+	if w.N() == 0 || w.N() == tr.N() {
+		t.Fatalf("window size %d of %d", w.N(), tr.N())
+	}
+	for _, a := range w.Arrivals {
+		if a.At < mid {
+			t.Fatal("window contains early arrival")
+		}
+	}
+}
+
+func TestHourClamp(t *testing.T) {
+	if Hour(500*time.Hour, 8) != 23 {
+		t.Error("Hour should clamp to 23")
+	}
+	if Hour(0, 8) != 0 {
+		t.Error("Hour(0) should be 0")
+	}
+}
