@@ -1,0 +1,24 @@
+# Development gates. `make check` is what CI runs: vet, build, and the
+# full test suite under the race detector (the serving runtime's
+# exactly-once guarantees are race-tested, so -race is not optional).
+
+GO ?= go
+
+.PHONY: check vet build test test-race bench
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

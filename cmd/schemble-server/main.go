@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"schemble/internal/core"
 	"schemble/internal/dataset"
@@ -30,6 +34,8 @@ func main() {
 	timescale := flag.Float64("timescale", 0.1, "wall-clock compression for simulated model latencies")
 	seed := flag.Uint64("seed", 7, "deployment seed")
 	snapshot := flag.String("snapshot", "", "path to cache the fitted pipeline (empty = refit on every start)")
+	queueDepth := flag.Int("queuedepth", 0, "per-model task queue bound (0 = default 1024); full queues reject instead of blocking")
+	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period for committed in-flight work")
 	flag.Parse()
 
 	cfg := pipeline.Config{
@@ -56,24 +62,49 @@ func main() {
 		}
 	}
 
+	rt := serve.New(serve.Config{
+		Ensemble:   arts.Ensemble,
+		Scheduler:  &core.DP{Delta: 0.01},
+		Rewarder:   arts.Profile,
+		Estimator:  arts.Predictor,
+		TimeScale:  *timescale,
+		QueueDepth: *queueDepth,
+		Seed:       *seed,
+	})
 	h := httpserve.New(httpserve.Config{
-		Server: serve.New(serve.Config{
-			Ensemble:  arts.Ensemble,
-			Scheduler: &core.DP{Delta: 0.01},
-			Rewarder:  arts.Profile,
-			Estimator: arts.Predictor,
-			TimeScale: *timescale,
-			Seed:      *seed,
-		}),
+		Server:    rt,
 		Estimator: arts.Predictor,
 		Pool:      arts.Serve,
 	})
-	defer h.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: h}
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "shutting down: draining committed work...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := rt.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain cut short: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			httpSrv.Close()
+		}
+	}()
 
 	fmt.Fprintf(os.Stderr, "serving %d-sample pool on %s (timescale %.2f)\n",
 		len(arts.Serve), *addr, *timescale)
-	if err := http.ListenAndServe(*addr, h); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	<-idle
+	h.Close()
+	st := rt.Stats()
+	fmt.Fprintf(os.Stderr,
+		"final runtime stats: submitted=%d served=%d missed=%d rejected=%d\n",
+		st.Submitted, st.Served, st.Missed, st.Rejected)
 }

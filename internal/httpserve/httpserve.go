@@ -38,7 +38,11 @@ type PredictRequest struct {
 
 // PredictResponse is the inference outcome.
 type PredictResponse struct {
-	Missed    bool      `json:"missed"`
+	Missed bool `json:"missed"`
+	// Rejected marks requests the runtime explicitly refused (queue
+	// saturation, draining) rather than served late; Rejected implies
+	// Missed.
+	Rejected  bool      `json:"rejected,omitempty"`
 	Probs     []float64 `json:"probs,omitempty"`
 	Value     float64   `json:"value,omitempty"`
 	Subset    []int     `json:"subset,omitempty"`
@@ -56,12 +60,29 @@ type DifficultyResponse struct {
 	Score float64 `json:"score"`
 }
 
-// Stats is the running counters snapshot.
+// Stats is the running counters snapshot, including the serving runtime's
+// own health gauges.
 type Stats struct {
-	Served         int     `json:"served"`
-	Missed         int     `json:"missed"`
-	MeanSubsetSize float64 `json:"mean_subset_size"`
-	MeanLatencyMS  float64 `json:"mean_latency_ms"`
+	Served         int          `json:"served"`
+	Missed         int          `json:"missed"`
+	Rejected       int          `json:"rejected"`
+	MeanSubsetSize float64      `json:"mean_subset_size"`
+	MeanLatencyMS  float64      `json:"mean_latency_ms"`
+	Runtime        RuntimeStats `json:"runtime"`
+}
+
+// RuntimeStats mirrors serve.Stats for the JSON API: lifecycle counters
+// plus instantaneous backlog gauges.
+type RuntimeStats struct {
+	Submitted  uint64 `json:"submitted"`
+	Served     uint64 `json:"served"`
+	Missed     uint64 `json:"missed"`
+	Rejected   uint64 `json:"rejected"`
+	Resolved   uint64 `json:"resolved"`
+	Buffered   int    `json:"buffered"`
+	InFlight   int    `json:"in_flight"`
+	QueueDepth []int  `json:"queue_depth"`
+	Draining   bool   `json:"draining"`
 }
 
 // Handler serves the API. Construct with New, wire into any http.Server,
@@ -76,9 +97,9 @@ type Handler struct {
 
 	mux sync.Mutex
 	st  struct {
-		served, missed int
-		sizeSum        int
-		latSum         time.Duration
+		served, missed, rejected int
+		sizeSum                  int
+		latSum                   time.Duration
 	}
 }
 
@@ -113,8 +134,12 @@ func New(cfg Config) *Handler {
 	return h
 }
 
-// Close shuts the underlying server down.
+// Close drains the underlying server: committed work finishes (bounded by
+// a grace period), then the runtime stops.
 func (h *Handler) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = h.srv.Drain(ctx)
 	h.cancel()
 	h.srv.Stop()
 }
@@ -155,9 +180,12 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 	res := <-h.srv.Submit(sample, deadline)
 
 	h.mux.Lock()
-	if res.Missed {
+	switch {
+	case res.Rejected:
+		h.st.rejected++
+	case res.Missed:
 		h.st.missed++
-	} else {
+	default:
 		h.st.served++
 		h.st.sizeSum += res.Subset.Size()
 		h.st.latSum += res.Latency
@@ -166,6 +194,7 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	resp := PredictResponse{
 		Missed:    res.Missed,
+		Rejected:  res.Rejected,
 		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
 	}
 	if !res.Missed {
@@ -198,10 +227,22 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 	h.mux.Lock()
 	st := h.st
 	h.mux.Unlock()
-	out := Stats{Served: st.served, Missed: st.missed}
+	out := Stats{Served: st.served, Missed: st.missed, Rejected: st.rejected}
 	if st.served > 0 {
 		out.MeanSubsetSize = float64(st.sizeSum) / float64(st.served)
 		out.MeanLatencyMS = float64(st.latSum) / float64(st.served) / float64(time.Millisecond)
+	}
+	rt := h.srv.Stats()
+	out.Runtime = RuntimeStats{
+		Submitted:  rt.Submitted,
+		Served:     rt.Served,
+		Missed:     rt.Missed,
+		Rejected:   rt.Rejected,
+		Resolved:   rt.Resolved,
+		Buffered:   rt.Buffered,
+		InFlight:   rt.InFlight,
+		QueueDepth: rt.QueueDepth,
+		Draining:   rt.Draining,
 	}
 	writeJSON(w, out)
 }

@@ -110,11 +110,26 @@ func TestStatsAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Served+st.Missed != 5 {
-		t.Errorf("stats count %d+%d, want 5", st.Served, st.Missed)
+	if st.Served+st.Missed+st.Rejected != 5 {
+		t.Errorf("stats count %d+%d+%d, want 5", st.Served, st.Missed, st.Rejected)
 	}
 	if st.Served > 0 && (st.MeanSubsetSize < 1 || st.MeanLatencyMS <= 0) {
 		t.Errorf("stats incomplete: %+v", st)
+	}
+	// The runtime snapshot rides along: 5 requests submitted, all
+	// resolved, nothing left in flight.
+	rt := st.Runtime
+	if rt.Submitted != 5 || rt.Resolved != 5 {
+		t.Errorf("runtime counters submitted=%d resolved=%d, want 5/5", rt.Submitted, rt.Resolved)
+	}
+	if rt.Served+rt.Missed+rt.Rejected != rt.Resolved {
+		t.Errorf("runtime counter identity broken: %+v", rt)
+	}
+	if rt.Buffered != 0 || rt.InFlight != 0 || rt.Draining {
+		t.Errorf("idle runtime reports backlog: %+v", rt)
+	}
+	if len(rt.QueueDepth) == 0 {
+		t.Error("runtime snapshot missing queue depths")
 	}
 }
 

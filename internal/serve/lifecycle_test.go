@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"schemble/internal/core"
+)
+
+// assertNoSecondResult fails the test if a resolved request's channel
+// holds a second value — which would mean the exactly-once guarantee
+// broke.
+func assertNoSecondResult(t *testing.T, i int, ch <-chan Result) {
+	t.Helper()
+	select {
+	case r := <-ch:
+		t.Fatalf("request %d resolved twice (second result: %+v)", i, r)
+	default:
+	}
+}
+
+// TestServeStressExactlyOnce hammers the server with concurrent Submits
+// while Stop races mid-flight, and asserts every done channel receives
+// exactly one Result. Run with -race to exercise the lifecycle
+// synchronization.
+func TestServeStressExactlyOnce(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	s.Start(context.Background())
+
+	const (
+		submitters = 8
+		perSub     = 15
+	)
+	chans := make(chan (<-chan Result), submitters*perSub)
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				idx := (w*perSub + i) % len(a.Serve)
+				chans <- s.Submit(a.Serve[idx], 200*time.Millisecond)
+			}
+		}()
+	}
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		time.Sleep(20 * time.Millisecond) // let some work commit first
+		s.Stop()
+	}()
+	wg.Wait()
+	<-stopped
+	close(chans)
+
+	var results []<-chan Result
+	i := 0
+	for ch := range chans {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never resolved", i)
+		}
+		results = append(results, ch)
+		i++
+	}
+	// Give late deadline timers time to fire, then confirm nothing
+	// double-delivered.
+	time.Sleep(100 * time.Millisecond)
+	for i, ch := range results {
+		assertNoSecondResult(t, i, ch)
+	}
+	st := s.Stats()
+	if st.Submitted != submitters*perSub {
+		t.Errorf("Submitted = %d, want %d", st.Submitted, submitters*perSub)
+	}
+	if st.Resolved != st.Submitted {
+		t.Errorf("Resolved = %d, want every submitted request resolved (%d)",
+			st.Resolved, st.Submitted)
+	}
+	if st.Buffered != 0 || st.InFlight != 0 {
+		t.Errorf("post-shutdown backlog: buffered=%d inflight=%d, want 0/0",
+			st.Buffered, st.InFlight)
+	}
+}
+
+// TestServeTinyQueueOverflow floods a QueueDepth=1 server: saturation must
+// surface as explicit rejections, never as hangs or leaks, and the server
+// must keep serving afterwards.
+func TestServeTinyQueueOverflow(t *testing.T) {
+	a := artifacts(t)
+	s := New(Config{
+		Ensemble:   a.Ensemble,
+		Scheduler:  &core.DP{Delta: 0.01},
+		Rewarder:   a.Profile,
+		Estimator:  a.Predictor,
+		TimeScale:  0.1,
+		QueueDepth: 1,
+		Seed:       1,
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+
+	const n = 60
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.Submit(a.Serve[i%len(a.Serve)], 300*time.Millisecond)
+	}
+	rejected := 0
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Rejected {
+				rejected++
+				if !r.Missed {
+					t.Errorf("request %d rejected but not missed", i)
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never resolved under overflow", i)
+		}
+	}
+	if rejected == 0 {
+		t.Error("tiny-queue burst produced no explicit rejections")
+	}
+	st := s.Stats()
+	if st.Resolved != n {
+		t.Errorf("Resolved = %d, want %d", st.Resolved, n)
+	}
+	if st.Rejected == 0 {
+		t.Error("stats recorded no rejections")
+	}
+	// The runtime must remain healthy: an uncontended request afterwards
+	// is served, not rejected.
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case r := <-s.Submit(a.Serve[0], time.Second):
+		if r.Rejected {
+			t.Error("uncontended post-burst request was rejected")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-burst request never resolved")
+	}
+}
+
+// TestServeDrainFinishesCommitted verifies graceful drain: committed work
+// runs to completion, uncommitted work resolves as missed, new Submits are
+// rejected, and Drain returns once the runtime has stopped.
+func TestServeDrainFinishesCommitted(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	s.Start(context.Background())
+
+	const n = 10
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = s.Submit(a.Serve[i], 2*time.Second)
+	}
+	time.Sleep(30 * time.Millisecond) // let the coordinator commit some
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	served := 0
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if !r.Missed {
+				served++
+				if r.Subset.Size() == 0 {
+					t.Errorf("request %d served without a subset", i)
+				}
+			}
+		default:
+			t.Fatalf("request %d unresolved after Drain returned", i)
+		}
+	}
+	if served == 0 {
+		t.Error("drain finished no committed work")
+	}
+	st := s.Stats()
+	if !st.Draining {
+		t.Error("Stats().Draining = false after Drain")
+	}
+	if st.InFlight != 0 || st.Buffered != 0 {
+		t.Errorf("post-drain backlog: buffered=%d inflight=%d", st.Buffered, st.InFlight)
+	}
+	// Submits after drain resolve immediately as rejected.
+	select {
+	case r := <-s.Submit(a.Serve[0], time.Second):
+		if !r.Rejected {
+			t.Error("post-drain Submit not rejected")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("post-drain Submit never resolved")
+	}
+	s.Stop() // idempotent after Drain
+}
+
+// TestServeDrainNotStarted covers the error path.
+func TestServeDrainNotStarted(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	if err := s.Drain(context.Background()); err != ErrNotStarted {
+		t.Fatalf("Drain before Start = %v, want ErrNotStarted", err)
+	}
+}
+
+// TestServeStatsSnapshot checks the counter identities on a quiet run.
+func TestServeStatsSnapshot(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	s.Start(context.Background())
+	defer s.Stop()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		<-s.Submit(a.Serve[i], time.Second)
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Resolved != n {
+		t.Errorf("submitted=%d resolved=%d, want %d/%d", st.Submitted, st.Resolved, n, n)
+	}
+	if st.Served+st.Missed+st.Rejected != st.Resolved {
+		t.Errorf("counter identity broken: %+v", st)
+	}
+	if len(st.QueueDepth) != a.Ensemble.M() {
+		t.Errorf("QueueDepth has %d entries, want %d", len(st.QueueDepth), a.Ensemble.M())
+	}
+	if st.Draining {
+		t.Error("Draining true on a running server")
+	}
+}
+
+// TestServeSubmitRacesStart exercises the Submit-vs-Start publication path
+// under -race: Submit must either panic cleanly (not started) or work.
+func TestServeSubmitRacesStart(t *testing.T) {
+	a := artifacts(t)
+	s := newServer(t, a)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }() // "Submit before Start" is acceptable
+		<-s.Submit(a.Serve[0], time.Second)
+	}()
+	s.Start(context.Background())
+	wg.Wait()
+	s.Stop()
+}

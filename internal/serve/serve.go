@@ -6,13 +6,24 @@
 // trace in compressed wall-clock time while exercising the same scheduling
 // logic the paper deploys.
 //
-// Lifecycle: New -> Start(ctx) -> Submit()... -> Stop. Every submitted
-// request resolves exactly once: with its aggregated output, or as a miss.
+// Lifecycle: New -> Start(ctx) -> Submit()... -> Drain/Stop. Every request
+// moves through an explicit state machine
+//
+//	submitted -> scored -> buffered -> committed -> resolved
+//
+// and resolves exactly once: with its aggregated output, as a deadline
+// miss, or as an explicit rejection (Result.Rejected) when the runtime is
+// saturated, draining, or stopped. Backpressure is bounded and visible:
+// Submit rejects instead of blocking when the event loop is full, and
+// dispatch rejects instead of leaking when a model's task queue is full.
+// Stop abandons committed work; Drain finishes it first.
 package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schemble/internal/core"
@@ -22,6 +33,9 @@ import (
 	"schemble/internal/model"
 	"schemble/internal/rng"
 )
+
+// ErrNotStarted is returned by Drain when Start was never called.
+var ErrNotStarted = errors.New("serve: server not started")
 
 // Config configures a Server.
 type Config struct {
@@ -34,18 +48,39 @@ type Config struct {
 	// TimeScale compresses simulated model latencies: 0.1 runs 10x faster
 	// than real time. Defaults to 1.
 	TimeScale float64
-	// QueueDepth bounds each model's task channel (default 1024).
+	// QueueDepth bounds each model's task channel (default 1024). When a
+	// model's queue is full at dispatch time the request is rejected; when
+	// the event loop is full Submit rejects up front.
 	QueueDepth int
 	Seed       uint64
 }
 
 // Result is the outcome of one request.
 type Result struct {
-	Output  model.Output
-	Subset  ensemble.Subset
-	Missed  bool
-	Latency time.Duration
+	Output model.Output
+	Subset ensemble.Subset
+	// Missed is true when no output was produced in time (deadline miss,
+	// shutdown, or rejection).
+	Missed bool
+	// Rejected is true when the runtime explicitly refused the request —
+	// event-loop or model-queue saturation, draining, or already stopped —
+	// rather than failing to meet its deadline. Rejected implies Missed.
+	Rejected bool
+	Latency  time.Duration
 }
+
+// reqState is a request's lifecycle stage. Transitions are guarded by the
+// request mutex and move strictly forward; stateResolved is terminal and
+// reachable from every stage.
+type reqState uint8
+
+const (
+	stateSubmitted reqState = iota // accepted by Submit
+	stateScored                    // difficulty score attached
+	stateBuffered                  // waiting in the coordinator's buffer
+	stateCommitted                 // subset locked, tasks dispatched
+	stateResolved                  // Result delivered exactly once
+)
 
 // request tracks one in-flight query.
 type request struct {
@@ -55,11 +90,27 @@ type request struct {
 	score    float64
 
 	mu        sync.Mutex
+	state     reqState
 	outs      []model.Output
 	remaining int
 	subset    ensemble.Subset
-	resolved  bool
 	done      chan Result
+}
+
+// advance moves the lifecycle forward; it never regresses and never leaves
+// the terminal resolved state.
+func (r *request) advance(to reqState) {
+	r.mu.Lock()
+	if r.state < to && r.state != stateResolved {
+		r.state = to
+	}
+	r.mu.Unlock()
+}
+
+func (r *request) isResolved() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == stateResolved
 }
 
 // Server is a running ensemble-serving instance.
@@ -69,11 +120,26 @@ type Server struct {
 	taskCh []chan *task
 	events chan event
 	wg     sync.WaitGroup
-	ctx    context.Context
-	cancel context.CancelFunc
-	start  time.Time
-	src    *rng.Source
-	srcMu  sync.Mutex
+
+	// lifeMu guards the lifecycle fields so Submit racing Start, Drain or
+	// Stop observes a consistent (ctx, draining) pair.
+	lifeMu   sync.Mutex
+	ctx      context.Context
+	cancel   context.CancelFunc
+	draining bool
+	start    time.Time
+
+	src   *rng.Source
+	srcMu sync.Mutex
+
+	// Health counters behind the Stats snapshot. buffered/inflight mirror
+	// the coordinator's private structures.
+	nSubmitted atomic.Uint64
+	nServed    atomic.Uint64
+	nMissed    atomic.Uint64
+	nRejected  atomic.Uint64
+	nBuffered  atomic.Int64
+	nInflight  atomic.Int64
 }
 
 type task struct {
@@ -87,12 +153,29 @@ const (
 	evSubmit evKind = iota
 	evTaskDone
 	evDeadline
+	evDrain
 )
 
 type event struct {
 	kind evKind
 	req  *request
 	k    int
+	// done marks the evTaskDone that completed its request's last task.
+	done bool
+}
+
+// Stats is a point-in-time health snapshot of the runtime.
+type Stats struct {
+	Submitted uint64 // requests accepted by Submit
+	Served    uint64 // resolved with an aggregated output in time
+	Missed    uint64 // resolved as deadline misses (or abandoned on Stop)
+	Rejected  uint64 // explicitly rejected (saturation, drain, stopped)
+	Resolved  uint64 // Served + Missed + Rejected
+	Buffered  int    // awaiting scheduling in the coordinator's buffer
+	InFlight  int    // committed, not all tasks finished
+	// QueueDepth[k] is model k's task-channel occupancy.
+	QueueDepth []int
+	Draining   bool
 }
 
 // New builds a server.
@@ -119,11 +202,17 @@ func New(cfg Config) *Server {
 }
 
 // Start launches the workers and the coordinator. It returns immediately;
-// cancel the context or call Stop to shut down.
+// cancel the context, or call Drain or Stop, to shut down.
 func (s *Server) Start(ctx context.Context) {
-	ctx, s.cancel = context.WithCancel(ctx)
-	s.ctx = ctx
+	s.lifeMu.Lock()
+	if s.ctx != nil {
+		s.lifeMu.Unlock()
+		panic("serve: Start called twice")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.ctx, s.cancel = ctx, cancel
 	s.start = time.Now()
+	s.lifeMu.Unlock()
 	for k := range s.taskCh {
 		k := k
 		s.wg.Add(1)
@@ -139,52 +228,149 @@ func (s *Server) Start(ctx context.Context) {
 	}()
 }
 
-// Stop shuts the server down and waits for goroutines to exit. In-flight
-// requests resolve as missed.
+// Stop shuts the server down immediately and waits for goroutines to exit.
+// Committed work is abandoned; every unresolved request resolves as
+// missed. Safe to call repeatedly and after Drain.
 func (s *Server) Stop() {
-	if s.cancel != nil {
-		s.cancel()
-	}
+	s.cancelRuntime()
 	s.wg.Wait()
 }
 
+// Drain stops accepting new work and lets committed requests finish before
+// shutting down: buffered-but-uncommitted requests resolve as missed, new
+// Submits resolve as rejected, and the runtime exits once the last
+// committed request resolves. Drain returns nil when the runtime has fully
+// stopped; if ctx is cancelled first it falls back to an immediate Stop
+// and returns ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.lifeMu.Lock()
+	sctx := s.ctx
+	already := s.draining
+	s.draining = true
+	s.lifeMu.Unlock()
+	if sctx == nil {
+		return ErrNotStarted
+	}
+	if !already {
+		select {
+		case s.events <- event{kind: evDrain}:
+		case <-sctx.Done():
+		}
+	}
+	stopped := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		return nil
+	case <-ctx.Done():
+		s.cancelRuntime()
+		<-stopped
+		return ctx.Err()
+	}
+}
+
+func (s *Server) cancelRuntime() {
+	s.lifeMu.Lock()
+	cancel := s.cancel
+	s.lifeMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Stats returns a point-in-time health snapshot. Counters are monotonic;
+// Buffered, InFlight and QueueDepth are instantaneous gauges.
+func (s *Server) Stats() Stats {
+	s.lifeMu.Lock()
+	draining := s.draining
+	s.lifeMu.Unlock()
+	st := Stats{
+		Submitted:  s.nSubmitted.Load(),
+		Served:     s.nServed.Load(),
+		Missed:     s.nMissed.Load(),
+		Rejected:   s.nRejected.Load(),
+		Buffered:   int(s.nBuffered.Load()),
+		InFlight:   int(s.nInflight.Load()),
+		QueueDepth: make([]int, len(s.taskCh)),
+		Draining:   draining,
+	}
+	st.Resolved = st.Served + st.Missed + st.Rejected
+	for k, ch := range s.taskCh {
+		st.QueueDepth[k] = len(ch)
+	}
+	return st
+}
+
 // Submit enqueues a query with a relative deadline and returns the channel
-// its Result will arrive on. Start must have been called first.
+// its Result will arrive on. Start must have been called first. The
+// returned channel always receives exactly one Result: immediately (with
+// Rejected set) when the event loop is saturated or the server is draining
+// or stopped, otherwise when the request completes, misses its deadline,
+// or the runtime shuts down.
 func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan Result {
-	if s.ctx == nil {
+	s.lifeMu.Lock()
+	ctx, draining := s.ctx, s.draining
+	s.lifeMu.Unlock()
+	if ctx == nil {
 		panic("serve: Submit before Start")
 	}
 	now := time.Now()
-	score := 0.5
-	if s.cfg.Estimator != nil {
-		score = s.cfg.Estimator.Predict(sample)
-	}
 	req := &request{
 		sample:   sample,
 		arrived:  now,
 		deadline: now.Add(time.Duration(float64(deadline) * s.scale)),
-		score:    score,
 		done:     make(chan Result, 1),
 	}
-	select {
-	case s.events <- event{kind: evSubmit, req: req}:
-	case <-s.ctx.Done():
-		s.resolve(req, Result{Missed: true})
+	s.nSubmitted.Add(1)
+	if draining || ctx.Err() != nil {
+		s.resolve(req, Result{Missed: true, Rejected: true})
 		return req.done
 	}
-	// A timer turns the deadline into an event so the coordinator can
-	// resolve never-scheduled requests.
+	req.score = 0.5
+	if s.cfg.Estimator != nil {
+		req.score = s.cfg.Estimator.Predict(sample)
+	}
+	req.advance(stateScored)
+	select {
+	case s.events <- event{kind: evSubmit, req: req}:
+	default:
+		// Event loop saturated: reject explicitly instead of blocking the
+		// caller or dropping the request on the floor.
+		s.resolve(req, Result{Missed: true, Rejected: true})
+		return req.done
+	}
+	if ctx.Err() != nil {
+		// Raced shutdown: the coordinator's drain sweep may already be
+		// past; resolve directly rather than leaving the caller to the
+		// deadline-timer fallback. resolve's exactly-once guarantee makes
+		// the duplicate path harmless.
+		s.resolve(req, Result{Missed: true, Rejected: true})
+		return req.done
+	}
+	// The timer turns the deadline into an event so the coordinator can
+	// resolve never-scheduled requests. Delivery is lossless: the timer
+	// goroutine blocks until the coordinator takes the event, and falls
+	// back to resolving directly once the runtime is shutting down.
 	time.AfterFunc(time.Until(req.deadline), func() {
+		if req.isResolved() {
+			return
+		}
 		select {
 		case s.events <- event{kind: evDeadline, req: req}:
-		default:
+		case <-ctx.Done():
+			s.resolve(req, Result{Missed: true})
 		}
 	})
 	return req.done
 }
 
 // worker executes tasks for model k serially, sleeping for the scaled
-// latency, then reports completion.
+// latency, then reports completion. Tasks whose request already resolved
+// (rejected, direct-deadline, or shutdown) are skipped but still reported,
+// so the coordinator's backlog accounting stays truthful.
 func (s *Server) worker(ctx context.Context, k int) {
 	m := s.cfg.Ensemble.Models[k]
 	for {
@@ -192,28 +378,31 @@ func (s *Server) worker(ctx context.Context, k int) {
 		case <-ctx.Done():
 			return
 		case t := <-s.taskCh[k]:
-			s.srcMu.Lock()
-			lat := m.SampleLatency(s.src)
-			s.srcMu.Unlock()
-			timer := time.NewTimer(time.Duration(float64(lat) * s.scale))
-			select {
-			case <-ctx.Done():
-				timer.Stop()
-				return
-			case <-timer.C:
-			}
-			out := m.Predict(t.req.sample)
-			t.req.mu.Lock()
-			t.req.outs[k] = out
-			t.req.remaining--
-			finished := t.req.remaining == 0
-			t.req.mu.Unlock()
-			if finished {
+			var done bool
+			if !t.req.isResolved() {
+				s.srcMu.Lock()
+				lat := m.SampleLatency(s.src)
+				s.srcMu.Unlock()
+				timer := time.NewTimer(time.Duration(float64(lat) * s.scale))
 				select {
-				case s.events <- event{kind: evTaskDone, req: t.req, k: k}:
 				case <-ctx.Done():
+					timer.Stop()
 					return
+				case <-timer.C:
 				}
+				out := m.Predict(t.req.sample)
+				t.req.mu.Lock()
+				if t.req.state != stateResolved {
+					t.req.outs[k] = out
+					t.req.remaining--
+					done = t.req.remaining == 0
+				}
+				t.req.mu.Unlock()
+			}
+			select {
+			case s.events <- event{kind: evTaskDone, req: t.req, k: k, done: done}:
+			case <-ctx.Done():
+				return
 			}
 		}
 	}
@@ -230,18 +419,36 @@ func (s *Server) coordinate(ctx context.Context) {
 		exec[k] = time.Duration(float64(md.MeanLatency()) * 1.1)
 	}
 	// busyUntil approximates, in unscaled virtual time since start, when
-	// each model drains its queue.
+	// each model drains its queue; pending[k] counts dispatched-but-
+	// unfinished tasks so completions can re-anchor the estimate on
+	// reality (mirroring sim.onTaskDone) instead of accumulating jitter.
 	busyUntil := make([]time.Duration, m)
+	pending := make([]int, m)
 	// inflight tracks committed-but-unfinished requests so shutdown can
-	// resolve them.
+	// resolve them and drain knows when it is done.
 	inflight := make(map[*request]bool)
+	draining := false
 
 	now := func() time.Duration {
 		return time.Duration(float64(time.Since(s.start)) / s.scale)
 	}
+	syncGauges := func() {
+		s.nBuffered.Store(int64(len(buffer)))
+		s.nInflight.Store(int64(len(inflight)))
+	}
 
 	dispatch := func() {
+		// Shed requests that resolved while buffered (direct deadline
+		// delivery during saturation).
+		live := buffer[:0]
+		for _, r := range buffer {
+			if !r.isResolved() {
+				live = append(live, r)
+			}
+		}
+		buffer = live
 		if len(buffer) == 0 {
+			syncGauges()
 			return
 		}
 		t := now()
@@ -274,10 +481,30 @@ func (s *Server) coordinate(ctx context.Context) {
 				kept = append(kept, r)
 				continue
 			}
+			// A saturated task queue means dispatch would leak: reject
+			// explicitly before committing anything. The coordinator is
+			// the channels' only sender, so this pre-flight check cannot
+			// race another producer.
+			saturated := false
+			for _, k := range sub.Models() {
+				if len(s.taskCh[k]) == cap(s.taskCh[k]) {
+					saturated = true
+					break
+				}
+			}
+			if saturated {
+				s.resolve(r, Result{Missed: true, Rejected: true})
+				continue
+			}
 			r.mu.Lock()
+			if r.state == stateResolved {
+				r.mu.Unlock()
+				continue
+			}
 			r.subset = sub
 			r.remaining = sub.Size()
 			r.outs = make([]model.Output, m)
+			r.state = stateCommitted
 			r.mu.Unlock()
 			inflight[r] = true
 			for _, k := range sub.Models() {
@@ -285,64 +512,95 @@ func (s *Server) coordinate(ctx context.Context) {
 				if start < t {
 					start = t
 				}
-				busyUntil[k] = start + exec[k]
 				select {
 				case s.taskCh[k] <- &task{req: r, k: k}:
+					busyUntil[k] = start + exec[k]
+					pending[k]++
 				default:
-					// Queue overflow: treat as missed.
-					s.resolve(r, Result{Missed: true})
+					// Unreachable given the pre-flight check; if it ever
+					// happens, roll back instead of leaking: busyUntil is
+					// untouched for this model, inflight forgets the
+					// request, it resolves as rejected, and workers skip
+					// its already-queued sibling tasks.
+					delete(inflight, r)
+					s.resolve(r, Result{Missed: true, Rejected: true})
 				}
 			}
 		}
 		buffer = kept
+		syncGauges()
+	}
+
+	shutdown := func() {
+		for _, r := range buffer {
+			s.resolve(r, Result{Missed: true})
+		}
+		buffer = nil
+		for r := range inflight {
+			s.resolve(r, Result{Missed: true})
+			delete(inflight, r)
+		}
+		syncGauges()
+		// Drain events that raced with shutdown so their requests still
+		// resolve. Blocked deadline timers resolve themselves via
+		// ctx.Done.
+		for {
+			select {
+			case e := <-s.events:
+				if e.kind == evSubmit {
+					s.resolve(e.req, Result{Missed: true, Rejected: true})
+				}
+			default:
+				return
+			}
+		}
 	}
 
 	for {
 		select {
 		case <-ctx.Done():
-			for _, r := range buffer {
-				s.resolve(r, Result{Missed: true})
-			}
-			for r := range inflight {
-				s.resolve(r, Result{Missed: true})
-			}
-			// Drain events that raced with shutdown so their requests
-			// still resolve.
-			for {
-				select {
-				case e := <-s.events:
-					if e.kind == evSubmit {
-						s.resolve(e.req, Result{Missed: true})
-					}
-				default:
-					return
-				}
-			}
+			shutdown()
+			return
 		case e := <-s.events:
 			switch e.kind {
 			case evSubmit:
+				if draining {
+					s.resolve(e.req, Result{Missed: true, Rejected: true})
+					break
+				}
+				e.req.advance(stateBuffered)
 				buffer = append(buffer, e.req)
+				syncGauges()
 			case evTaskDone:
-				r := e.req
-				delete(inflight, r)
-				r.mu.Lock()
-				outs, sub := r.outs, r.subset
-				r.mu.Unlock()
-				out := s.cfg.Ensemble.Predict(outs, sub)
-				late := time.Now().After(r.deadline)
-				s.resolve(r, Result{
-					Output:  out,
-					Subset:  sub,
-					Missed:  late,
-					Latency: time.Duration(float64(time.Since(r.arrived)) / s.scale),
-				})
+				if pending[e.k] > 0 {
+					pending[e.k]--
+				}
+				// Re-anchor the backlog estimate on the actual completion
+				// time so latency jitter cannot accumulate drift.
+				busyUntil[e.k] = now() + time.Duration(pending[e.k])*exec[e.k]
+				if e.done {
+					r := e.req
+					delete(inflight, r)
+					syncGauges()
+					r.mu.Lock()
+					outs, sub := r.outs, r.subset
+					r.mu.Unlock()
+					out := s.cfg.Ensemble.Predict(outs, sub)
+					late := time.Now().After(r.deadline)
+					s.resolve(r, Result{
+						Output:  out,
+						Subset:  sub,
+						Missed:  late,
+						Latency: time.Duration(float64(time.Since(r.arrived)) / s.scale),
+					})
+				}
 			case evDeadline:
 				r := e.req
 				r.mu.Lock()
-				started := r.subset != ensemble.Empty
+				started := r.state >= stateCommitted
 				r.mu.Unlock()
 				if !started {
-					// Never scheduled: drop from the buffer and miss.
+					// Never committed: drop from the buffer and miss.
 					for i, b := range buffer {
 						if b == r {
 							buffer = append(buffer[:i], buffer[i+1:]...)
@@ -350,20 +608,48 @@ func (s *Server) coordinate(ctx context.Context) {
 						}
 					}
 					s.resolve(r, Result{Missed: true})
+					syncGauges()
 				}
+			case evDrain:
+				draining = true
+				// Uncommitted work cannot finish under drain: resolve it
+				// now. Committed work runs to completion.
+				for _, r := range buffer {
+					s.resolve(r, Result{Missed: true})
+				}
+				buffer = nil
+				syncGauges()
+			}
+			if draining {
+				if len(inflight) == 0 {
+					// Last committed request resolved: complete the drain.
+					s.cancelRuntime()
+				}
+				continue
 			}
 			dispatch()
 		}
 	}
 }
 
-// resolve delivers a result exactly once.
+// resolve delivers a result exactly once; entering stateResolved is the
+// only transition allowed from any stage, so late task completions,
+// deadline timers and shutdown sweeps cannot double-deliver.
 func (s *Server) resolve(r *request, res Result) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.resolved {
+	if r.state == stateResolved {
+		r.mu.Unlock()
 		return
 	}
-	r.resolved = true
+	r.state = stateResolved
+	r.mu.Unlock()
+	switch {
+	case res.Rejected:
+		s.nRejected.Add(1)
+	case res.Missed:
+		s.nMissed.Add(1)
+	default:
+		s.nServed.Add(1)
+	}
 	r.done <- res
 }

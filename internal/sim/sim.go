@@ -253,6 +253,19 @@ func (s *sim) handle(e *event) {
 	case evArrival:
 		s.onArrival(e.arrIdx)
 	case evReady:
+		// Guard against double commitment: when a query's deadline falls
+		// before arrival+ScoreDelay, onDeadline has already handled it
+		// (ForceProcess commits it to the fastest model); re-buffering it
+		// here would let the scheduler commit it a second time,
+		// re-enqueueing tasks and resetting remaining/outs. A query whose
+		// deadline already passed without ForceProcess can only miss, so
+		// it never enters the buffer either.
+		if e.q.committed || e.q.finished {
+			break
+		}
+		if !s.cfg.ForceProcess && e.q.deadline <= s.now {
+			break
+		}
 		s.buffer = append(s.buffer, e.q)
 		s.schedulePlan()
 	case evTaskDone:
@@ -482,6 +495,11 @@ func (s *sim) planAndDispatch() {
 	}
 	committed := map[int]bool{}
 	for _, q := range order {
+		if q.committed || q.finished {
+			// Defensive: a committed query must never be re-dispatched.
+			committed[q.id] = true
+			continue
+		}
 		sub := plan.Subset(q.id)
 		if sub == ensemble.Empty {
 			continue
@@ -508,7 +526,12 @@ func (s *sim) planAndDispatch() {
 }
 
 // commit locks a buffered query onto a subset and enqueues its tasks.
+// Committing is idempotent-by-refusal: a second commit would re-enqueue
+// tasks and reset remaining/outs, so it is rejected outright.
 func (s *sim) commit(q *query, sub ensemble.Subset) {
+	if q.committed {
+		return
+	}
 	q.committed = true
 	q.subset = sub
 	q.remaining = sub.Size()

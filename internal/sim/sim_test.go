@@ -365,3 +365,55 @@ func TestBatchSizeOneMatchesDefault(t *testing.T) {
 		}
 	}
 }
+
+// fullPlanScheduler unconditionally assigns the full ensemble to every
+// buffered query — even past-deadline ones — to expose double-commit bugs
+// the feasibility-aware DP scheduler would mask.
+type fullPlanScheduler struct{ m int }
+
+func (f fullPlanScheduler) Name() string { return "test-full-plan" }
+
+func (f fullPlanScheduler) Schedule(now time.Duration, qs []core.QueryInfo,
+	avail, exec []time.Duration, r core.Rewarder) core.Plan {
+	as := make(map[int]ensemble.Subset, len(qs))
+	for _, q := range qs {
+		as[q.ID] = ensemble.Full(f.m)
+	}
+	return core.Plan{Assignments: as}
+}
+
+// TestForceProcessEarlyDeadlineCommitsOnce is the regression test for the
+// evReady/evDeadline ordering bug: a query whose deadline falls before
+// arrival+ScoreDelay is force-committed to the fastest model by
+// onDeadline; the later evReady must NOT re-buffer it, or the scheduler
+// commits it a second time (re-enqueueing tasks and resetting
+// remaining/outs), recording an oversized subset.
+func TestForceProcessEarlyDeadlineCommitsOnce(t *testing.T) {
+	a := artifacts(t)
+	tr := &trace.Trace{Arrivals: []trace.Arrival{
+		{SampleIdx: 0, At: 0, Deadline: time.Millisecond},
+	}}
+	cfg := Config{
+		Ensemble:     a.Ensemble,
+		Refs:         a.Refs,
+		Scorer:       a.Scorer,
+		Scheduler:    fullPlanScheduler{m: a.Ensemble.M()},
+		Rewarder:     a.Profile,
+		Estimator:    a.Predictor,
+		ScoreDelay:   5 * time.Millisecond, // ready strictly after the deadline
+		ForceProcess: true,
+		Seed:         1,
+	}
+	recs := Run(cfg, tr, a.Serve)
+	rec := recs[0]
+	if rec.Missed {
+		t.Fatal("ForceProcess query recorded as missed")
+	}
+	if rec.Subset.Size() != 1 {
+		t.Errorf("early-deadline query committed twice: subset %v, want the single fastest model",
+			rec.Subset.Models())
+	}
+	if rec.Done <= 0 {
+		t.Error("no completion time recorded")
+	}
+}

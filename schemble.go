@@ -65,6 +65,8 @@ type (
 	Server = serve.Server
 	// ServeResult is a Server's per-request outcome.
 	ServeResult = serve.Result
+	// ServerStats is a Server's point-in-time health snapshot.
+	ServerStats = serve.Stats
 )
 
 // Config configures New.
@@ -222,18 +224,25 @@ type ServerOptions struct {
 	// TimeScale compresses simulated model latencies (0.1 = 10x faster
 	// than real time); 0 means real time.
 	TimeScale float64
+	// QueueDepth bounds each model's task queue (default 1024). Saturated
+	// queues reject requests explicitly instead of blocking or leaking.
+	QueueDepth int
 }
 
 // NewServer builds the real-time concurrent serving runtime over this
-// framework's pipeline. Call Start before Submit.
+// framework's pipeline. Call Start before Submit. Every submitted request
+// resolves exactly once — served, missed, or explicitly rejected — and the
+// runtime's health is observable via Server.Stats. Shut down with Stop
+// (immediate) or Drain (finishes committed work first).
 func (f *Framework) NewServer(opt ServerOptions) *Server {
 	return serve.New(serve.Config{
-		Ensemble:  f.arts.Ensemble,
-		Scheduler: &core.DP{Delta: f.delta},
-		Rewarder:  f.arts.Profile,
-		Estimator: f.arts.Predictor,
-		TimeScale: opt.TimeScale,
-		Seed:      f.seed,
+		Ensemble:   f.arts.Ensemble,
+		Scheduler:  &core.DP{Delta: f.delta},
+		Rewarder:   f.arts.Profile,
+		Estimator:  f.arts.Predictor,
+		TimeScale:  opt.TimeScale,
+		QueueDepth: opt.QueueDepth,
+		Seed:       f.seed,
 	})
 }
 
