@@ -1,10 +1,11 @@
 # Development gates. `make check` is what CI runs: vet, build, and the
-# full test suite under the race detector (the serving runtime's
-# exactly-once guarantees are race-tested, so -race is not optional).
+# full test suite under the race detector with shuffled test order (the
+# serving runtime's exactly-once guarantees are race-tested, so -race is
+# not optional; -shuffle=on catches inter-test state leaks).
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench
+.PHONY: check vet build test test-race chaos bench
 
 check: vet build test-race
 
@@ -15,10 +16,18 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Fault-injection stress tests: every chaos/fault/drain scenario under the
+# race detector with a tight timeout so a hung drain or leaked goroutine
+# fails fast instead of stalling the suite.
+chaos:
+	$(GO) test -race -shuffle=on -timeout 120s \
+		-run 'Chaos|Fault|Hedge|Breaker|Degraded|Panic|Drain' \
+		./internal/serve/... ./internal/model/... ./internal/httpserve/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

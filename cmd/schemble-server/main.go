@@ -36,6 +36,9 @@ func main() {
 	snapshot := flag.String("snapshot", "", "path to cache the fitted pipeline (empty = refit on every start)")
 	queueDepth := flag.Int("queuedepth", 0, "per-model task queue bound (0 = default 1024); full queues reject instead of blocking")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period for committed in-flight work")
+	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a task attempt fails transiently (0 = off)")
+	stragglerRate := flag.Float64("straggler-rate", 0, "chaos: probability a task attempt straggles at 8x latency (0 = off)")
+	crashMTBF := flag.Duration("crash-mtbf", 0, "chaos: mean time between replica crashes in virtual time (0 = off)")
 	flag.Parse()
 
 	cfg := pipeline.Config{
@@ -62,6 +65,12 @@ func main() {
 		}
 	}
 
+	faults := model.FaultConfig{
+		TransientRate: *faultRate,
+		StragglerRate: *stragglerRate,
+		CrashMTBF:     *crashMTBF,
+		Seed:          *seed,
+	}
 	rt := serve.New(serve.Config{
 		Ensemble:   arts.Ensemble,
 		Scheduler:  &core.DP{Delta: 0.01},
@@ -70,7 +79,17 @@ func main() {
 		TimeScale:  *timescale,
 		QueueDepth: *queueDepth,
 		Seed:       *seed,
+		Faults:     faults,
+		// Mitigations stay on even without injection: they also cover
+		// panics and real stragglers, and degrade at the deadline instead
+		// of missing outright.
+		Tolerance: serve.DefaultTolerance(),
 	})
+	if faults.Enabled() {
+		fmt.Fprintf(os.Stderr,
+			"chaos enabled: fault-rate=%.3f straggler-rate=%.3f crash-mtbf=%v\n",
+			*faultRate, *stragglerRate, *crashMTBF)
+	}
 	h := httpserve.New(httpserve.Config{
 		Server:    rt,
 		Estimator: arts.Predictor,
@@ -105,6 +124,6 @@ func main() {
 	h.Close()
 	st := rt.Stats()
 	fmt.Fprintf(os.Stderr,
-		"final runtime stats: submitted=%d served=%d missed=%d rejected=%d\n",
-		st.Submitted, st.Served, st.Missed, st.Rejected)
+		"final runtime stats: submitted=%d served=%d degraded=%d missed=%d rejected=%d\n",
+		st.Submitted, st.Served, st.Degraded, st.Missed, st.Rejected)
 }

@@ -78,6 +78,13 @@ func (c *Client) Stats() (Stats, error) {
 	return st, err
 }
 
+// Health fetches the per-model fault-health report.
+func (c *Client) Health() (HealthResponse, error) {
+	var hr HealthResponse
+	err := c.get("/v1/health", &hr)
+	return hr, err
+}
+
 // Healthy reports whether the server answers its health check.
 func (c *Client) Healthy() bool {
 	r, err := c.HTTPClient.Get(c.BaseURL + "/v1/healthz")

@@ -7,7 +7,8 @@
 //	POST /v1/difficulty {"features": [ ... ]}
 //	                 -> {"score": 0.34}
 //	GET  /v1/stats      -> served/missed counters and mean subset size
-//	GET  /v1/healthz    -> 200 "ok"
+//	GET  /v1/health     -> per-model breaker/fault health, "ok"|"degraded"
+//	GET  /v1/healthz    -> 200 "ok" (liveness only)
 //
 // Requests reference samples by ID in the deployment's serving pool (the
 // simulator owns the inputs; a production system would carry the payload
@@ -42,7 +43,11 @@ type PredictResponse struct {
 	// Rejected marks requests the runtime explicitly refused (queue
 	// saturation, draining) rather than served late; Rejected implies
 	// Missed.
-	Rejected  bool      `json:"rejected,omitempty"`
+	Rejected bool `json:"rejected,omitempty"`
+	// Degraded marks requests served from a partial ensemble: some subset
+	// models failed or were still running at the deadline, and the output
+	// aggregates the models that completed (listed in Subset).
+	Degraded  bool      `json:"degraded,omitempty"`
 	Probs     []float64 `json:"probs,omitempty"`
 	Value     float64   `json:"value,omitempty"`
 	Subset    []int     `json:"subset,omitempty"`
@@ -64,6 +69,7 @@ type DifficultyResponse struct {
 // own health gauges.
 type Stats struct {
 	Served         int          `json:"served"`
+	Degraded       int          `json:"degraded"`
 	Missed         int          `json:"missed"`
 	Rejected       int          `json:"rejected"`
 	MeanSubsetSize float64      `json:"mean_subset_size"`
@@ -72,17 +78,46 @@ type Stats struct {
 }
 
 // RuntimeStats mirrors serve.Stats for the JSON API: lifecycle counters
-// plus instantaneous backlog gauges.
+// plus instantaneous backlog gauges and per-model fault health.
 type RuntimeStats struct {
-	Submitted  uint64 `json:"submitted"`
-	Served     uint64 `json:"served"`
-	Missed     uint64 `json:"missed"`
-	Rejected   uint64 `json:"rejected"`
-	Resolved   uint64 `json:"resolved"`
-	Buffered   int    `json:"buffered"`
-	InFlight   int    `json:"in_flight"`
-	QueueDepth []int  `json:"queue_depth"`
-	Draining   bool   `json:"draining"`
+	Submitted  uint64        `json:"submitted"`
+	Served     uint64        `json:"served"`
+	Degraded   uint64        `json:"degraded"`
+	Missed     uint64        `json:"missed"`
+	Rejected   uint64        `json:"rejected"`
+	Resolved   uint64        `json:"resolved"`
+	Buffered   int           `json:"buffered"`
+	InFlight   int           `json:"in_flight"`
+	QueueDepth []int         `json:"queue_depth"`
+	Models     []ModelHealth `json:"models"`
+	Draining   bool          `json:"draining"`
+}
+
+// ModelHealth mirrors serve.ModelHealth for the JSON API.
+type ModelHealth struct {
+	Name       string `json:"name"`
+	Breaker    string `json:"breaker"`
+	ConsecFail int    `json:"consecutive_failures,omitempty"`
+	Trips      uint64 `json:"breaker_trips,omitempty"`
+	Down       bool   `json:"down,omitempty"`
+	Executed   uint64 `json:"executed"`
+	Failures   uint64 `json:"failures,omitempty"`
+	Transient  uint64 `json:"transient,omitempty"`
+	Stragglers uint64 `json:"stragglers,omitempty"`
+	Crashes    uint64 `json:"crashes,omitempty"`
+	Timeouts   uint64 `json:"timeouts,omitempty"`
+	Panics     uint64 `json:"panics,omitempty"`
+	Retries    uint64 `json:"retries,omitempty"`
+	Hedges     uint64 `json:"hedges,omitempty"`
+	HedgeWins  uint64 `json:"hedge_wins,omitempty"`
+}
+
+// HealthResponse is the /v1/health report: "ok" when every model is
+// schedulable, "degraded" when a breaker is open or a replica is down.
+type HealthResponse struct {
+	Status   string        `json:"status"`
+	Draining bool          `json:"draining,omitempty"`
+	Models   []ModelHealth `json:"models"`
 }
 
 // Handler serves the API. Construct with New, wire into any http.Server,
@@ -97,9 +132,9 @@ type Handler struct {
 
 	mux sync.Mutex
 	st  struct {
-		served, missed, rejected int
-		sizeSum                  int
-		latSum                   time.Duration
+		served, degraded, missed, rejected int
+		sizeSum                            int
+		latSum                             time.Duration
 	}
 }
 
@@ -156,6 +191,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.handleDifficulty(w, r)
 	case r.URL.Path == "/v1/stats" && r.Method == http.MethodGet:
 		h.handleStats(w)
+	case r.URL.Path == "/v1/health" && r.Method == http.MethodGet:
+		h.handleHealth(w)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
@@ -185,6 +222,10 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		h.st.rejected++
 	case res.Missed:
 		h.st.missed++
+	case res.Degraded:
+		h.st.degraded++
+		h.st.sizeSum += res.Subset.Size()
+		h.st.latSum += res.Latency
 	default:
 		h.st.served++
 		h.st.sizeSum += res.Subset.Size()
@@ -195,6 +236,7 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 	resp := PredictResponse{
 		Missed:    res.Missed,
 		Rejected:  res.Rejected,
+		Degraded:  res.Degraded,
 		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
 	}
 	if !res.Missed {
@@ -227,24 +269,67 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 	h.mux.Lock()
 	st := h.st
 	h.mux.Unlock()
-	out := Stats{Served: st.served, Missed: st.missed, Rejected: st.rejected}
-	if st.served > 0 {
-		out.MeanSubsetSize = float64(st.sizeSum) / float64(st.served)
-		out.MeanLatencyMS = float64(st.latSum) / float64(st.served) / float64(time.Millisecond)
+	out := Stats{Served: st.served, Degraded: st.degraded, Missed: st.missed, Rejected: st.rejected}
+	if done := st.served + st.degraded; done > 0 {
+		out.MeanSubsetSize = float64(st.sizeSum) / float64(done)
+		out.MeanLatencyMS = float64(st.latSum) / float64(done) / float64(time.Millisecond)
 	}
 	rt := h.srv.Stats()
 	out.Runtime = RuntimeStats{
 		Submitted:  rt.Submitted,
 		Served:     rt.Served,
+		Degraded:   rt.Degraded,
 		Missed:     rt.Missed,
 		Rejected:   rt.Rejected,
 		Resolved:   rt.Resolved,
 		Buffered:   rt.Buffered,
 		InFlight:   rt.InFlight,
 		QueueDepth: rt.QueueDepth,
+		Models:     modelHealth(rt),
 		Draining:   rt.Draining,
 	}
 	writeJSON(w, out)
+}
+
+// modelHealth converts the runtime's per-model snapshot to the JSON shape.
+func modelHealth(rt serve.Stats) []ModelHealth {
+	out := make([]ModelHealth, len(rt.Models))
+	for k, m := range rt.Models {
+		out[k] = ModelHealth{
+			Name:       m.Name,
+			Breaker:    m.Breaker,
+			ConsecFail: m.ConsecutiveFailures,
+			Trips:      m.BreakerTrips,
+			Down:       m.Down,
+			Executed:   m.Executed,
+			Failures:   m.Failures,
+			Transient:  m.Transient,
+			Stragglers: m.Stragglers,
+			Crashes:    m.Crashes,
+			Timeouts:   m.Timeouts,
+			Panics:     m.Panics,
+			Retries:    m.Retries,
+			Hedges:     m.Hedges,
+			HedgeWins:  m.HedgeWins,
+		}
+	}
+	return out
+}
+
+// handleHealth reports per-model schedulability: "degraded" while any
+// breaker is open or any replica sits in a crash-recovery window. Always
+// HTTP 200 — /v1/healthz remains the liveness probe.
+func (h *Handler) handleHealth(w http.ResponseWriter) {
+	rt := h.srv.Stats()
+	status := "ok"
+	if !rt.Healthy() {
+		status = "degraded"
+	}
+	writeJSON(w, HealthResponse{
+		Status:   status,
+		Draining: rt.Draining,
+		Models:   modelHealth(rt),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

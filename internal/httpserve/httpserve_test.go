@@ -187,3 +187,114 @@ func TestConcurrentClients(t *testing.T) {
 		t.Errorf("served %d + missed %d, want 20", st.Served, st.Missed)
 	}
 }
+
+// TestHealthEndpoint checks /v1/health on a fault-free server: status ok,
+// every model listed, breakers reported "off" (tolerance disabled).
+func TestHealthEndpoint(t *testing.T) {
+	c, _, a := startServer(t)
+	hr, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" {
+		t.Errorf("status = %q, want ok", hr.Status)
+	}
+	if hr.Draining {
+		t.Error("fresh server reports draining")
+	}
+	if len(hr.Models) != a.Ensemble.M() {
+		t.Fatalf("health lists %d models, want %d", len(hr.Models), a.Ensemble.M())
+	}
+	for _, m := range hr.Models {
+		if m.Name == "" {
+			t.Error("model health entry missing name")
+		}
+		if m.Breaker != "off" {
+			t.Errorf("model %s breaker = %q, want off with tolerance disabled", m.Name, m.Breaker)
+		}
+		if m.Down || m.Failures != 0 {
+			t.Errorf("fault-free model %s reports faults: %+v", m.Name, m)
+		}
+	}
+}
+
+// startChaosServer builds the HTTP stack over a fault-injected runtime with
+// the full tolerance suite enabled.
+func startChaosServer(t *testing.T) (*Client, *pipeline.Artifacts) {
+	t.Helper()
+	a := artifacts(t)
+	h := New(Config{
+		Server: serve.New(serve.Config{
+			Ensemble:  a.Ensemble,
+			Scheduler: &core.DP{Delta: 0.01},
+			Rewarder:  a.Profile,
+			Estimator: a.Predictor,
+			TimeScale: 0.05,
+			Seed:      1,
+			Faults: model.FaultConfig{
+				TransientRate: 0.25,
+				StragglerRate: 0.2,
+				CrashMTBF:     4 * time.Second,
+				Seed:          7,
+			},
+			Tolerance: serve.DefaultTolerance(),
+		}),
+		Estimator: a.Predictor,
+		Pool:      a.Serve,
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		h.Close()
+	})
+	return NewClient(ts.URL), a
+}
+
+// TestChaosServerHealthAndStats drives traffic through a fault-injected
+// server and checks the degraded counter and per-model fault telemetry
+// surface through /v1/stats and /v1/health.
+func TestChaosServerHealthAndStats(t *testing.T) {
+	c, a := startChaosServer(t)
+	for i := 0; i < 40; i++ {
+		if _, err := c.Predict(a.Serve[i%len(a.Serve)].ID, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Served + st.Degraded + st.Missed + st.Rejected; got != 40 {
+		t.Errorf("handler counters sum to %d, want 40: %+v", got, st)
+	}
+	rt := st.Runtime
+	if rt.Served+rt.Degraded+rt.Missed+rt.Rejected != rt.Resolved {
+		t.Errorf("runtime counter identity broken: %+v", rt)
+	}
+	if uint64(st.Degraded) != rt.Degraded {
+		t.Errorf("handler degraded %d != runtime degraded %d", st.Degraded, rt.Degraded)
+	}
+	if len(rt.Models) != a.Ensemble.M() {
+		t.Fatalf("runtime stats list %d models, want %d", len(rt.Models), a.Ensemble.M())
+	}
+	var faults uint64
+	for _, m := range rt.Models {
+		faults += m.Transient + m.Stragglers + m.Crashes + m.Timeouts
+		if m.Breaker == "off" {
+			t.Errorf("model %s breaker off with tolerance enabled", m.Name)
+		}
+	}
+	if faults == 0 {
+		t.Error("40 requests at 25%/20% fault rates injected nothing")
+	}
+	hr, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" && hr.Status != "degraded" {
+		t.Errorf("health status = %q", hr.Status)
+	}
+	if len(hr.Models) != a.Ensemble.M() {
+		t.Errorf("health lists %d models, want %d", len(hr.Models), a.Ensemble.M())
+	}
+}

@@ -1,0 +1,160 @@
+// Faulty decorates a Model with seeded, deterministic failure modes so the
+// serving layers can be exercised against an unreliable substrate without
+// touching the models themselves. Three fault classes cover the failure
+// taxonomy real ensemble-serving fleets see:
+//
+//   - transient error: the attempt fails immediately (connection reset,
+//     OOM-killed batch, CUDA error) but the replica stays healthy;
+//   - straggler: the attempt completes, but its latency is multiplied by a
+//     heavy tail factor (noisy neighbour, GC pause, thermal throttle);
+//   - crash: the replica dies and stays dead for a recovery window; every
+//     attempt inside the window fails instantly.
+//
+// Prediction itself is never corrupted: a Faulty model that completes an
+// attempt returns exactly the wrapped model's deterministic output, so
+// fault injection is opt-in and orthogonal to accuracy. All draws come
+// from a private seeded rng.Source, which makes the fault sequence a pure
+// function of (seed, attempt order).
+package model
+
+import (
+	"sync"
+	"time"
+
+	"schemble/internal/rng"
+)
+
+// FaultKind classifies the outcome drawn for one execution attempt.
+type FaultKind int
+
+const (
+	// FaultNone means the attempt proceeds normally.
+	FaultNone FaultKind = iota
+	// FaultTransient means the attempt fails immediately; retrying may
+	// succeed.
+	FaultTransient
+	// FaultStraggler means the attempt completes with its latency
+	// multiplied by the configured tail factor.
+	FaultStraggler
+	// FaultCrash means the replica is dead: this attempt (and every
+	// attempt until the recovery window elapses) fails instantly.
+	FaultCrash
+)
+
+// String renders the fault kind for logs and health reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	case FaultStraggler:
+		return "straggler"
+	case FaultCrash:
+		return "crash"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultConfig configures a Faulty wrapper. The zero value injects nothing.
+type FaultConfig struct {
+	// TransientRate is the probability an attempt fails transiently.
+	TransientRate float64
+	// StragglerRate is the probability an attempt straggles.
+	StragglerRate float64
+	// StragglerFactor multiplies a straggling attempt's latency
+	// (default 8).
+	StragglerFactor float64
+	// CrashMTBF is the mean time between replica crashes, expressed in the
+	// same time base as the latency passed to Attempt; 0 disables crashes.
+	// Each attempt crashes with probability lat/CrashMTBF.
+	CrashMTBF time.Duration
+	// CrashRecovery is how long a crashed replica stays dead, expressed in
+	// the time base of the `now` passed to Attempt (default 2s).
+	CrashRecovery time.Duration
+	// Seed drives the private fault stream.
+	Seed uint64
+}
+
+// Enabled reports whether any fault mode is active.
+func (c FaultConfig) Enabled() bool {
+	return c.TransientRate > 0 || c.StragglerRate > 0 || c.CrashMTBF > 0
+}
+
+// withDefaults fills unset tail/recovery parameters.
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.StragglerFactor <= 1 {
+		c.StragglerFactor = 8
+	}
+	if c.CrashRecovery <= 0 {
+		c.CrashRecovery = 2 * time.Second
+	}
+	return c
+}
+
+// Decision is the injected fault for one execution attempt.
+type Decision struct {
+	Kind FaultKind
+	// LatencyFactor multiplies the attempt's fault-free latency; it is 1
+	// unless Kind is FaultStraggler.
+	LatencyFactor float64
+}
+
+// Faulty wraps a Model with deterministic fault injection. It implements
+// Model by pure delegation — Predict stays deterministic and correct — and
+// exposes Attempt for execution layers that want to draw per-attempt fault
+// outcomes. Safe for concurrent use.
+type Faulty struct {
+	Model
+	cfg FaultConfig
+
+	mu        sync.Mutex
+	src       *rng.Source
+	downUntil time.Time
+}
+
+// NewFaulty wraps m with the given fault configuration.
+func NewFaulty(m Model, cfg FaultConfig) *Faulty {
+	cfg = cfg.withDefaults()
+	return &Faulty{Model: m, cfg: cfg, src: rng.New(cfg.Seed ^ 0xfa017)}
+}
+
+// Config returns the (defaulted) fault configuration.
+func (f *Faulty) Config() FaultConfig { return f.cfg }
+
+// Down reports whether the replica is inside a crash-recovery window.
+func (f *Faulty) Down(now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return now.Before(f.downUntil)
+}
+
+// Attempt draws the fault outcome for one execution attempt starting at
+// now whose fault-free latency would be lat. A dead replica fails with
+// FaultCrash without consuming a draw, so the fault stream stays a
+// deterministic function of the executed-attempt sequence.
+func (f *Faulty) Attempt(now time.Time, lat time.Duration) Decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if now.Before(f.downUntil) {
+		return Decision{Kind: FaultCrash, LatencyFactor: 1}
+	}
+	if f.cfg.CrashMTBF > 0 {
+		p := float64(lat) / float64(f.cfg.CrashMTBF)
+		if p > 0.9 {
+			p = 0.9
+		}
+		if f.src.Bool(p) {
+			f.downUntil = now.Add(f.cfg.CrashRecovery)
+			return Decision{Kind: FaultCrash, LatencyFactor: 1}
+		}
+	}
+	if f.cfg.TransientRate > 0 && f.src.Bool(f.cfg.TransientRate) {
+		return Decision{Kind: FaultTransient, LatencyFactor: 1}
+	}
+	if f.cfg.StragglerRate > 0 && f.src.Bool(f.cfg.StragglerRate) {
+		return Decision{Kind: FaultStraggler, LatencyFactor: f.cfg.StragglerFactor}
+	}
+	return Decision{Kind: FaultNone, LatencyFactor: 1}
+}

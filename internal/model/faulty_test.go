@@ -1,0 +1,110 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"schemble/internal/dataset"
+)
+
+func TestFaultyDisabledNeverFaults(t *testing.T) {
+	f := NewFaulty(TextMatchingModels(1)[0], FaultConfig{})
+	if (FaultConfig{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	now := time.Now()
+	for i := 0; i < 1000; i++ {
+		if d := f.Attempt(now, 50*time.Millisecond); d.Kind != FaultNone || d.LatencyFactor != 1 {
+			t.Fatalf("zero config injected %+v on attempt %d", d, i)
+		}
+	}
+	if f.Down(now) {
+		t.Error("zero config replica reported down")
+	}
+}
+
+func TestFaultyPredictDelegates(t *testing.T) {
+	base := TextMatchingModels(3)[1]
+	f := NewFaulty(base, FaultConfig{TransientRate: 0.5, Seed: 11})
+	s := &dataset.Sample{ID: 17, Label: 1, Difficulty: 0.4}
+	a, b := f.Predict(s), base.Predict(s)
+	if len(a.Probs) != len(b.Probs) {
+		t.Fatalf("prob dims differ: %d vs %d", len(a.Probs), len(b.Probs))
+	}
+	for i := range a.Probs {
+		if a.Probs[i] != b.Probs[i] {
+			t.Fatalf("Faulty corrupted prediction: %v vs %v", a.Probs, b.Probs)
+		}
+	}
+	if f.Name() != base.Name() || f.MeanLatency() != base.MeanLatency() {
+		t.Error("Faulty does not delegate Model metadata")
+	}
+}
+
+// TestFaultyDeterministic: two wrappers with the same seed produce the
+// same fault sequence for the same attempt sequence.
+func TestFaultyDeterministic(t *testing.T) {
+	mk := func() *Faulty {
+		return NewFaulty(TextMatchingModels(2)[1], FaultConfig{
+			TransientRate: 0.3, StragglerRate: 0.2, StragglerFactor: 4,
+			CrashMTBF: 500 * time.Millisecond, CrashRecovery: 40 * time.Millisecond,
+			Seed: 42,
+		})
+	}
+	a, b := mk(), mk()
+	base := time.Now()
+	seen := map[FaultKind]int{}
+	for i := 0; i < 500; i++ {
+		now := base.Add(time.Duration(i) * time.Millisecond)
+		da := a.Attempt(now, 50*time.Millisecond)
+		db := b.Attempt(now, 50*time.Millisecond)
+		if da != db {
+			t.Fatalf("attempt %d diverged: %+v vs %+v", i, da, db)
+		}
+		seen[da.Kind]++
+	}
+	for _, k := range []FaultKind{FaultNone, FaultTransient, FaultStraggler, FaultCrash} {
+		if seen[k] == 0 {
+			t.Errorf("fault kind %v never drawn in 500 attempts", k)
+		}
+	}
+}
+
+func TestFaultyCrashRecoveryWindow(t *testing.T) {
+	f := NewFaulty(TextMatchingModels(4)[0], FaultConfig{
+		CrashMTBF: time.Millisecond, CrashRecovery: time.Second, Seed: 7,
+	})
+	base := time.Now()
+	var crashed time.Time
+	for i := 0; i < 200; i++ {
+		now := base.Add(time.Duration(i) * time.Microsecond)
+		if f.Attempt(now, 50*time.Millisecond).Kind == FaultCrash {
+			crashed = now
+			break
+		}
+	}
+	if crashed.IsZero() {
+		t.Fatal("never crashed at clamped p=0.9")
+	}
+	// Attempts inside the window fail with FaultCrash without drawing.
+	if k := f.Attempt(crashed.Add(500*time.Millisecond), time.Millisecond).Kind; k != FaultCrash {
+		t.Errorf("attempt on dead replica = %v, want crash", k)
+	}
+	if !f.Down(crashed.Add(999 * time.Millisecond)) {
+		t.Error("replica up inside recovery window")
+	}
+	if f.Down(crashed.Add(1001 * time.Millisecond)) {
+		t.Error("replica still down after recovery window")
+	}
+}
+
+func TestFaultyDefaults(t *testing.T) {
+	f := NewFaulty(TextMatchingModels(5)[0], FaultConfig{StragglerRate: 0.1})
+	cfg := f.Config()
+	if cfg.StragglerFactor != 8 {
+		t.Errorf("StragglerFactor default = %v, want 8", cfg.StragglerFactor)
+	}
+	if cfg.CrashRecovery != 2*time.Second {
+		t.Errorf("CrashRecovery default = %v, want 2s", cfg.CrashRecovery)
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+// TestBreakerTransitions drives the closed -> open -> half-open state
+// machine directly (virtual clock, no runtime) through a full
+// fail/cooldown/probe-fail/cooldown/probe-succeed cycle.
+func TestBreakerTransitions(t *testing.T) {
+	s := &Server{
+		tol:      ToleranceConfig{BreakerThreshold: 3, BreakerCooldown: 100 * time.Millisecond},
+		breakers: make([]breakerState, 2),
+	}
+	if got := s.breakerBlocked(0); got != ensemble.Empty {
+		t.Fatalf("fresh breakers blocked %v", got)
+	}
+	// Two failures then a success: the consecutive counter resets.
+	s.breakerRecord(0, false, 0)
+	s.breakerRecord(0, false, 0)
+	s.breakerRecord(0, true, 0)
+	s.breakerRecord(0, false, 0)
+	s.breakerRecord(0, false, 0)
+	if got := s.breakerBlocked(time.Millisecond); got != ensemble.Empty {
+		t.Fatalf("breaker opened below threshold: %v", got)
+	}
+	// Third consecutive failure opens it.
+	s.breakerRecord(0, false, time.Millisecond)
+	if got := s.breakerBlocked(10 * time.Millisecond); !got.Contains(0) {
+		t.Fatal("breaker not open after threshold consecutive failures")
+	}
+	if got := s.breakerBlocked(10 * time.Millisecond); got.Contains(1) {
+		t.Fatal("unrelated model blocked")
+	}
+	if s.breakers[0].trips != 1 {
+		t.Errorf("trips = %d, want 1", s.breakers[0].trips)
+	}
+	// Cooldown elapses: half-open, schedulable again for a probe.
+	if got := s.breakerBlocked(150 * time.Millisecond); got != ensemble.Empty {
+		t.Fatal("still blocked after cooldown")
+	}
+	if s.breakers[0].state != breakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", breakerName(s.breakers[0].state))
+	}
+	// Probe fails: re-open, restart cooldown, count the trip.
+	s.breakerRecord(0, false, 150*time.Millisecond)
+	if got := s.breakerBlocked(200 * time.Millisecond); !got.Contains(0) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if s.breakers[0].trips != 2 {
+		t.Errorf("trips = %d, want 2 after failed probe", s.breakers[0].trips)
+	}
+	// Second cooldown, successful probe: closed.
+	if got := s.breakerBlocked(300 * time.Millisecond); got != ensemble.Empty {
+		t.Fatal("still blocked after second cooldown")
+	}
+	s.breakerRecord(0, true, 300*time.Millisecond)
+	if s.breakers[0].state != breakerClosed {
+		t.Fatalf("state = %s after successful probe, want closed", breakerName(s.breakers[0].state))
+	}
+	if got := s.breakerBlocked(310 * time.Millisecond); got != ensemble.Empty {
+		t.Fatalf("closed breaker blocked %v", got)
+	}
+}
+
+// TestBreakerDisabled: threshold 0 records nothing and blocks nothing.
+func TestBreakerDisabled(t *testing.T) {
+	s := &Server{tol: ToleranceConfig{}, breakers: make([]breakerState, 1)}
+	for i := 0; i < 10; i++ {
+		s.breakerRecord(0, false, 0)
+	}
+	if got := s.breakerBlocked(time.Hour); got != ensemble.Empty {
+		t.Fatalf("disabled breaker blocked %v", got)
+	}
+	if s.breakers[0].state != breakerClosed || s.breakers[0].consec != 0 {
+		t.Errorf("disabled breaker mutated: %+v", s.breakers[0])
+	}
+}

@@ -227,7 +227,7 @@ func TestServeStatsSnapshot(t *testing.T) {
 	if st.Submitted != n || st.Resolved != n {
 		t.Errorf("submitted=%d resolved=%d, want %d/%d", st.Submitted, st.Resolved, n, n)
 	}
-	if st.Served+st.Missed+st.Rejected != st.Resolved {
+	if st.Served+st.Degraded+st.Missed+st.Rejected != st.Resolved {
 		t.Errorf("counter identity broken: %+v", st)
 	}
 	if len(st.QueueDepth) != a.Ensemble.M() {

@@ -17,6 +17,18 @@
 // Submit rejects instead of blocking when the event loop is full, and
 // dispatch rejects instead of leaking when a model's task queue is full.
 // Stop abandons committed work; Drain finishes it first.
+//
+// The runtime also survives an unreliable substrate. Config.Faults (or
+// FaultsPerModel) injects deterministic transient errors, stragglers and
+// replica crashes via model.Faulty; Config.Tolerance opts into the
+// mitigations: bounded retries with jittered backoff, hedged re-issue of
+// straggling attempts, per-task deadline timeouts, a per-model circuit
+// breaker the scheduler consults so subsets avoid failing models, and
+// partial-ensemble degradation — a request whose deadline arrives with at
+// least one (but not all) subset outputs resolves with Result.Degraded
+// instead of missing. Both configs default to off, in which case the
+// runtime behaves exactly like the fault-free original; a panicking
+// Predict is always contained (the task fails, the worker survives).
 package serve
 
 import (
@@ -37,6 +49,11 @@ import (
 // ErrNotStarted is returned by Drain when Start was never called.
 var ErrNotStarted = errors.New("serve: server not started")
 
+// blockHorizon is how far into the future an open-breaker (or crashed)
+// model's availability is pushed when the scheduler is consulted: far
+// enough that no deadline-feasible plan can include it.
+const blockHorizon = time.Hour
+
 // Config configures a Server.
 type Config struct {
 	Ensemble *ensemble.Ensemble
@@ -53,19 +70,38 @@ type Config struct {
 	// the event loop is full Submit rejects up front.
 	QueueDepth int
 	Seed       uint64
+
+	// Faults injects deterministic failures into every model's task
+	// execution (zero value: no injection). Durations are virtual, like
+	// model latencies.
+	Faults model.FaultConfig
+	// FaultsPerModel, when entry k is in range, replaces Faults for model
+	// k — e.g. to crash only one replica in a test.
+	FaultsPerModel []model.FaultConfig
+	// Tolerance opts into the fault-tolerant execution layer. The zero
+	// value disables every mitigation and leaves the runtime bit-identical
+	// to the fault-free worker loop; see DefaultTolerance.
+	Tolerance ToleranceConfig
 }
 
 // Result is the outcome of one request.
 type Result struct {
 	Output model.Output
+	// Subset names the models whose outputs were aggregated into Output —
+	// for degraded results, the models that actually completed.
 	Subset ensemble.Subset
 	// Missed is true when no output was produced in time (deadline miss,
-	// shutdown, or rejection).
+	// all tasks failed, shutdown, or rejection).
 	Missed bool
 	// Rejected is true when the runtime explicitly refused the request —
 	// event-loop or model-queue saturation, draining, or already stopped —
 	// rather than failing to meet its deadline. Rejected implies Missed.
 	Rejected bool
+	// Degraded is true when the request was served (Missed is false) from
+	// a non-empty strict subset of its committed models — the rest failed
+	// or were still running at the deadline. Degraded results always carry
+	// at least one real model output.
+	Degraded bool
 	Latency  time.Duration
 }
 
@@ -93,8 +129,12 @@ type request struct {
 	state     reqState
 	outs      []model.Output
 	remaining int
-	subset    ensemble.Subset
-	done      chan Result
+	// ok is the mask of models whose task succeeded; failed counts tasks
+	// that failed permanently (retries exhausted, crash, timeout, panic).
+	ok     ensemble.Subset
+	failed int
+	subset ensemble.Subset
+	done   chan Result
 }
 
 // advance moves the lifecycle forward; it never regresses and never leaves
@@ -113,13 +153,38 @@ func (r *request) isResolved() bool {
 	return r.state == stateResolved
 }
 
+// modelCounters are one model's fault and mitigation counters, written by
+// the model's worker goroutine and read by Stats.
+type modelCounters struct {
+	executed   atomic.Uint64 // tasks whose attempt chain ran
+	failures   atomic.Uint64 // tasks that failed permanently
+	transient  atomic.Uint64 // transient faults observed
+	stragglers atomic.Uint64 // straggling attempts observed
+	crashes    atomic.Uint64 // attempts hitting a dead/crashing replica
+	timeouts   atomic.Uint64 // attempts abandoned at the request deadline
+	panics     atomic.Uint64 // Predict panics contained
+	retries    atomic.Uint64 // retry attempts issued
+	hedges     atomic.Uint64 // hedge attempts issued
+	hedgeWins  atomic.Uint64 // hedge attempts that finished first
+}
+
 // Server is a running ensemble-serving instance.
 type Server struct {
 	cfg    Config
+	tol    ToleranceConfig
 	scale  float64
 	taskCh []chan *task
 	events chan event
 	wg     sync.WaitGroup
+
+	// faulty[k] is model k's fault injector (nil when injection is off).
+	faulty []*model.Faulty
+	mstats []modelCounters
+
+	// breakerMu guards the per-model circuit breakers, which the
+	// coordinator mutates and Stats snapshots.
+	breakerMu sync.Mutex
+	breakers  []breakerState
 
 	// lifeMu guards the lifecycle fields so Submit racing Start, Drain or
 	// Stop observes a consistent (ctx, draining) pair.
@@ -136,6 +201,7 @@ type Server struct {
 	// the coordinator's private structures.
 	nSubmitted atomic.Uint64
 	nServed    atomic.Uint64
+	nDegraded  atomic.Uint64
 	nMissed    atomic.Uint64
 	nRejected  atomic.Uint64
 	nBuffered  atomic.Int64
@@ -162,20 +228,64 @@ type event struct {
 	k    int
 	// done marks the evTaskDone that completed its request's last task.
 	done bool
+	// ran marks evTaskDone events whose task actually executed (as opposed
+	// to being skipped because the request had already resolved); failed
+	// marks executed tasks that failed permanently.
+	ran    bool
+	failed bool
+}
+
+// ModelHealth is one model's fault-tolerance snapshot inside Stats.
+type ModelHealth struct {
+	Name string
+	// Breaker is "closed", "open" or "half-open"; "off" when the breaker
+	// is disabled.
+	Breaker             string
+	ConsecutiveFailures int
+	BreakerTrips        uint64
+	// Down is true while the (injected) replica sits in a crash-recovery
+	// window.
+	Down     bool
+	Executed uint64
+	Failures uint64
+	// Fault observations.
+	Transient  uint64
+	Stragglers uint64
+	Crashes    uint64
+	Timeouts   uint64
+	Panics     uint64
+	// Mitigations taken.
+	Retries   uint64
+	Hedges    uint64
+	HedgeWins uint64
 }
 
 // Stats is a point-in-time health snapshot of the runtime.
 type Stats struct {
 	Submitted uint64 // requests accepted by Submit
-	Served    uint64 // resolved with an aggregated output in time
+	Served    uint64 // resolved with the full subset's output in time
+	Degraded  uint64 // served in time from a partial subset
 	Missed    uint64 // resolved as deadline misses (or abandoned on Stop)
 	Rejected  uint64 // explicitly rejected (saturation, drain, stopped)
-	Resolved  uint64 // Served + Missed + Rejected
+	Resolved  uint64 // Served + Degraded + Missed + Rejected
 	Buffered  int    // awaiting scheduling in the coordinator's buffer
 	InFlight  int    // committed, not all tasks finished
 	// QueueDepth[k] is model k's task-channel occupancy.
 	QueueDepth []int
-	Draining   bool
+	// Models[k] is model k's fault/mitigation health.
+	Models   []ModelHealth
+	Draining bool
+}
+
+// Healthy reports whether every model is schedulable: no breaker open and
+// no replica inside a crash-recovery window.
+func (st Stats) Healthy() bool {
+	for _, m := range st.Models {
+		if m.Breaker == "open" || m.Down {
+			return false
+		}
+	}
+	return true
 }
 
 // New builds a server.
@@ -189,14 +299,39 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	m := len(cfg.Ensemble.Models)
 	s := &Server{
-		cfg:    cfg,
-		scale:  cfg.TimeScale,
-		events: make(chan event, 4*cfg.QueueDepth),
-		src:    rng.New(cfg.Seed ^ 0x5e7e),
+		cfg:      cfg,
+		tol:      cfg.Tolerance.withDefaults(),
+		scale:    cfg.TimeScale,
+		events:   make(chan event, 4*cfg.QueueDepth),
+		src:      rng.New(cfg.Seed ^ 0x5e7e),
+		mstats:   make([]modelCounters, m),
+		breakers: make([]breakerState, m),
 	}
 	for range cfg.Ensemble.Models {
 		s.taskCh = append(s.taskCh, make(chan *task, cfg.QueueDepth))
+	}
+	for k, md := range cfg.Ensemble.Models {
+		fc := cfg.Faults
+		if k < len(cfg.FaultsPerModel) {
+			fc = cfg.FaultsPerModel[k]
+		}
+		if !fc.Enabled() {
+			continue
+		}
+		// Faulty.Attempt gets wall-clock nows but virtual latencies, so
+		// CrashMTBF stays virtual while the recovery window is scaled to
+		// wall time here.
+		if fc.CrashRecovery <= 0 {
+			fc.CrashRecovery = 2 * time.Second
+		}
+		fc.CrashRecovery = time.Duration(float64(fc.CrashRecovery) * s.scale)
+		fc.Seed = fc.Seed*0x9e3779b97f4a7c15 + uint64(k) + 1
+		if s.faulty == nil {
+			s.faulty = make([]*model.Faulty, m)
+		}
+		s.faulty[k] = model.NewFaulty(md, fc)
 	}
 	return s
 }
@@ -290,17 +425,49 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Submitted:  s.nSubmitted.Load(),
 		Served:     s.nServed.Load(),
+		Degraded:   s.nDegraded.Load(),
 		Missed:     s.nMissed.Load(),
 		Rejected:   s.nRejected.Load(),
 		Buffered:   int(s.nBuffered.Load()),
 		InFlight:   int(s.nInflight.Load()),
 		QueueDepth: make([]int, len(s.taskCh)),
+		Models:     make([]ModelHealth, len(s.taskCh)),
 		Draining:   draining,
 	}
-	st.Resolved = st.Served + st.Missed + st.Rejected
+	st.Resolved = st.Served + st.Degraded + st.Missed + st.Rejected
 	for k, ch := range s.taskCh {
 		st.QueueDepth[k] = len(ch)
 	}
+	wallNow := time.Now()
+	s.breakerMu.Lock()
+	for k := range st.Models {
+		c := &s.mstats[k]
+		mh := ModelHealth{
+			Name:       s.cfg.Ensemble.Models[k].Name(),
+			Breaker:    "off",
+			Executed:   c.executed.Load(),
+			Failures:   c.failures.Load(),
+			Transient:  c.transient.Load(),
+			Stragglers: c.stragglers.Load(),
+			Crashes:    c.crashes.Load(),
+			Timeouts:   c.timeouts.Load(),
+			Panics:     c.panics.Load(),
+			Retries:    c.retries.Load(),
+			Hedges:     c.hedges.Load(),
+			HedgeWins:  c.hedgeWins.Load(),
+		}
+		if s.tol.BreakerThreshold > 0 {
+			b := s.breakers[k]
+			mh.Breaker = breakerName(b.state)
+			mh.ConsecutiveFailures = b.consec
+			mh.BreakerTrips = b.trips
+		}
+		if s.faulty != nil && s.faulty[k] != nil {
+			mh.Down = s.faulty[k].Down(wallNow)
+		}
+		st.Models[k] = mh
+	}
+	s.breakerMu.Unlock()
 	return st
 }
 
@@ -367,45 +534,203 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 	return req.done
 }
 
-// worker executes tasks for model k serially, sleeping for the scaled
-// latency, then reports completion. Tasks whose request already resolved
-// (rejected, direct-deadline, or shutdown) are skipped but still reported,
-// so the coordinator's backlog accounting stays truthful.
+// worker executes tasks for model k serially and reports completion. Tasks
+// whose request already resolved (rejected, direct-deadline, degraded, or
+// shutdown) are skipped but still reported, so the coordinator's backlog
+// accounting stays truthful. A task whose attempt chain fails permanently
+// is reported as failed rather than killing the worker, so one bad replica
+// or panicking input can never strand a model's task queue.
 func (s *Server) worker(ctx context.Context, k int) {
 	m := s.cfg.Ensemble.Models[k]
+	var inj *model.Faulty
+	if s.faulty != nil {
+		inj = s.faulty[k]
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case t := <-s.taskCh[k]:
-			var done bool
+			var done, ran, failed bool
 			if !t.req.isResolved() {
-				s.srcMu.Lock()
-				lat := m.SampleLatency(s.src)
-				s.srcMu.Unlock()
-				timer := time.NewTimer(time.Duration(float64(lat) * s.scale))
-				select {
-				case <-ctx.Done():
-					timer.Stop()
+				ran = true
+				out, ok, alive := s.execute(ctx, m, inj, k, t.req)
+				if !alive {
 					return
-				case <-timer.C:
 				}
-				out := m.Predict(t.req.sample)
+				s.mstats[k].executed.Add(1)
+				if !ok {
+					s.mstats[k].failures.Add(1)
+					failed = true
+				}
 				t.req.mu.Lock()
 				if t.req.state != stateResolved {
-					t.req.outs[k] = out
 					t.req.remaining--
+					if ok {
+						t.req.outs[k] = out
+						t.req.ok = t.req.ok.With(k)
+					} else {
+						t.req.failed++
+					}
 					done = t.req.remaining == 0
 				}
 				t.req.mu.Unlock()
 			}
 			select {
-			case s.events <- event{kind: evTaskDone, req: t.req, k: k, done: done}:
+			case s.events <- event{kind: evTaskDone, req: t.req, k: k, done: done, ran: ran, failed: failed}:
 			case <-ctx.Done():
 				return
 			}
 		}
 	}
+}
+
+// execute runs one task's attempt chain for model k: draw the injected
+// fault, sleep the (scaled, possibly straggling) latency with optional
+// hedging and deadline cutoff, run Predict panic-safely, and retry failed
+// attempts with jittered exponential backoff while the budget lasts. ok
+// reports whether an output was produced; alive is false when the runtime
+// context was cancelled mid-attempt (the worker must exit silently, as
+// before).
+func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, k int, r *request) (out model.Output, ok, alive bool) {
+	c := &s.mstats[k]
+	for attempt := 0; ; attempt++ {
+		s.srcMu.Lock()
+		lat := m.SampleLatency(s.src)
+		s.srcMu.Unlock()
+		dec := model.Decision{Kind: model.FaultNone, LatencyFactor: 1}
+		if inj != nil {
+			dec = inj.Attempt(time.Now(), lat)
+		}
+		if dec.Kind == model.FaultCrash || dec.Kind == model.FaultTransient {
+			if dec.Kind == model.FaultCrash {
+				c.crashes.Add(1)
+			} else {
+				c.transient.Add(1)
+			}
+			retry, alive := s.backoff(ctx, r, attempt)
+			if !alive {
+				return out, false, false
+			}
+			if retry {
+				c.retries.Add(1)
+				continue
+			}
+			return out, false, true
+		}
+		d := time.Duration(float64(lat) * dec.LatencyFactor * s.scale)
+		primary := time.NewTimer(d)
+		var hedge, cutoff *time.Timer
+		var hedgeC, cutoffC <-chan time.Time
+		if dec.Kind == model.FaultStraggler {
+			c.stragglers.Add(1)
+			if s.tol.HedgeFactor > 0 {
+				// Hedge: re-issue the attempt after HedgeFactor mean
+				// latencies; the fresh (non-straggling) attempt races the
+				// straggler and the first to finish wins. Outputs are
+				// deterministic, so the winner only decides latency.
+				s.srcMu.Lock()
+				hlat := m.SampleLatency(s.src)
+				s.srcMu.Unlock()
+				hd := time.Duration((s.tol.HedgeFactor*float64(m.MeanLatency()) + float64(hlat)) * s.scale)
+				if hd < d {
+					hedge = time.NewTimer(hd)
+					hedgeC = hedge.C
+					c.hedges.Add(1)
+				}
+			}
+		}
+		stop := func() {
+			primary.Stop()
+			if hedge != nil {
+				hedge.Stop()
+			}
+			if cutoff != nil {
+				cutoff.Stop()
+			}
+		}
+		if s.tol.TaskTimeout {
+			until := time.Until(r.deadline)
+			if until <= 0 {
+				stop()
+				c.timeouts.Add(1)
+				return out, false, true
+			}
+			if until < d {
+				cutoff = time.NewTimer(until)
+				cutoffC = cutoff.C
+			}
+		}
+		select {
+		case <-ctx.Done():
+			stop()
+			return out, false, false
+		case <-primary.C:
+			stop()
+		case <-hedgeC:
+			c.hedgeWins.Add(1)
+			stop()
+		case <-cutoffC:
+			// The deadline arrived mid-attempt: abandon it instead of
+			// occupying the worker past the point of usefulness.
+			stop()
+			c.timeouts.Add(1)
+			return out, false, true
+		}
+		if out, ok = s.safePredict(m, k, r.sample); ok {
+			return out, true, true
+		}
+		// Predict panicked: contained by safePredict; treat like a
+		// transient fault.
+		retry, alive := s.backoff(ctx, r, attempt)
+		if !alive {
+			return out, false, false
+		}
+		if retry {
+			c.retries.Add(1)
+			continue
+		}
+		return out, false, true
+	}
+}
+
+// backoff decides whether a failed attempt may retry, sleeping the
+// jittered exponential backoff first. alive is false when the runtime
+// context was cancelled during the sleep.
+func (s *Server) backoff(ctx context.Context, r *request, attempt int) (retry, alive bool) {
+	if attempt >= s.tol.MaxRetries {
+		return false, true
+	}
+	base := s.tol.RetryBackoff
+	s.srcMu.Lock()
+	jit := time.Duration(s.src.Float64() * float64(base))
+	s.srcMu.Unlock()
+	d := time.Duration(float64(base<<uint(attempt)+jit) * s.scale)
+	if s.tol.TaskTimeout && time.Now().Add(d).After(r.deadline) {
+		// No budget left to retry inside the deadline.
+		return false, true
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return false, false
+	case <-t.C:
+		return true, true
+	}
+}
+
+// safePredict runs m.Predict, converting a panic into a failed attempt so
+// one bad input can never kill the model's worker goroutine and strand its
+// task queue.
+func (s *Server) safePredict(m model.Model, k int, sample *dataset.Sample) (out model.Output, ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.mstats[k].panics.Add(1)
+			ok = false
+		}
+	}()
+	return m.Predict(sample), true
 }
 
 // coordinate owns the buffer and the scheduler.
@@ -436,6 +761,9 @@ func (s *Server) coordinate(ctx context.Context) {
 		s.nBuffered.Store(int64(len(buffer)))
 		s.nInflight.Store(int64(len(inflight)))
 	}
+	latency := func(r *request) time.Duration {
+		return time.Duration(float64(time.Since(r.arrived)) / s.scale)
+	}
 
 	dispatch := func() {
 		// Shed requests that resolved while buffered (direct deadline
@@ -452,6 +780,25 @@ func (s *Server) coordinate(ctx context.Context) {
 			return
 		}
 		t := now()
+		// Health consultation: models behind an open breaker or inside a
+		// crash-recovery window are pushed beyond any feasible deadline so
+		// the scheduler plans subsets around them.
+		blocked := s.breakerBlocked(t)
+		if s.faulty != nil {
+			wallNow := time.Now()
+			for k, f := range s.faulty {
+				if f != nil && f.Down(wallNow) {
+					blocked = blocked.With(k)
+				}
+			}
+		}
+		avail := busyUntil
+		if blocked != ensemble.Empty {
+			avail = append([]time.Duration(nil), busyUntil...)
+			for _, k := range blocked.Models() {
+				avail[k] = t + blockHorizon
+			}
+		}
 		infos := make([]core.QueryInfo, len(buffer))
 		for i, r := range buffer {
 			infos[i] = core.QueryInfo{
@@ -461,10 +808,12 @@ func (s *Server) coordinate(ctx context.Context) {
 				Score:    r.score,
 			}
 		}
-		plan := s.cfg.Scheduler.Schedule(t, infos, busyUntil, exec, s.cfg.Rewarder)
+		plan := s.cfg.Scheduler.Schedule(t, infos, avail, exec, s.cfg.Rewarder)
 		var kept []*request
 		for i, r := range buffer {
-			sub := plan.Subset(i)
+			// Unhealthy models are stripped even if the scheduler chose
+			// them; a subset emptied by the mask stays buffered.
+			sub := plan.Subset(i) &^ blocked
 			if sub == ensemble.Empty {
 				kept = append(kept, r)
 				continue
@@ -572,6 +921,9 @@ func (s *Server) coordinate(ctx context.Context) {
 				buffer = append(buffer, e.req)
 				syncGauges()
 			case evTaskDone:
+				if e.ran {
+					s.breakerRecord(e.k, !e.failed, now())
+				}
 				if pending[e.k] > 0 {
 					pending[e.k]--
 				}
@@ -583,23 +935,33 @@ func (s *Server) coordinate(ctx context.Context) {
 					delete(inflight, r)
 					syncGauges()
 					r.mu.Lock()
-					outs, sub := r.outs, r.subset
+					outs, okMask, sub, nfailed := r.outs, r.ok, r.subset, r.failed
 					r.mu.Unlock()
-					out := s.cfg.Ensemble.Predict(outs, sub)
-					late := time.Now().After(r.deadline)
-					s.resolve(r, Result{
-						Output:  out,
-						Subset:  sub,
-						Missed:  late,
-						Latency: time.Duration(float64(time.Since(r.arrived)) / s.scale),
-					})
+					if okMask == ensemble.Empty {
+						// Every task failed permanently: nothing to
+						// aggregate.
+						s.resolve(r, Result{Subset: sub, Missed: true, Latency: latency(r)})
+					} else {
+						out := s.cfg.Ensemble.Predict(outs, okMask)
+						late := time.Now().After(r.deadline)
+						s.resolve(r, Result{
+							Output:   out,
+							Subset:   okMask,
+							Missed:   late,
+							Degraded: !late && nfailed > 0,
+							Latency:  latency(r),
+						})
+					}
 				}
 			case evDeadline:
 				r := e.req
 				r.mu.Lock()
 				started := r.state >= stateCommitted
+				committed := r.state == stateCommitted
+				outs, okMask, sub := r.outs, r.ok, r.subset
 				r.mu.Unlock()
-				if !started {
+				switch {
+				case !started:
 					// Never committed: drop from the buffer and miss.
 					for i, b := range buffer {
 						if b == r {
@@ -608,6 +970,23 @@ func (s *Server) coordinate(ctx context.Context) {
 						}
 					}
 					s.resolve(r, Result{Missed: true})
+					syncGauges()
+				case committed && s.tol.Degrade && okMask != ensemble.Empty && okMask != sub:
+					// Partial-ensemble degradation: the deadline arrived
+					// with some but not all subset outputs. Aggregate what
+					// completed and serve it degraded instead of missing.
+					// Still-running sibling tasks observe the resolved
+					// state and are skipped; exactly-once holds. (Writes
+					// to outs land on indices outside okMask, so the
+					// aggregation below never races them.)
+					out := s.cfg.Ensemble.Predict(outs, okMask)
+					delete(inflight, r)
+					s.resolve(r, Result{
+						Output:   out,
+						Subset:   okMask,
+						Degraded: true,
+						Latency:  latency(r),
+					})
 					syncGauges()
 				}
 			case evDrain:
@@ -648,6 +1027,8 @@ func (s *Server) resolve(r *request, res Result) {
 		s.nRejected.Add(1)
 	case res.Missed:
 		s.nMissed.Add(1)
+	case res.Degraded:
+		s.nDegraded.Add(1)
 	default:
 		s.nServed.Add(1)
 	}
