@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race chaos bench
+.PHONY: check vet build test test-race chaos obsv bench
 
 check: vet build test-race
 
@@ -28,6 +28,12 @@ chaos:
 	$(GO) test -race -shuffle=on -timeout 120s \
 		-run 'Chaos|Fault|Hedge|Breaker|Degraded|Panic|Drain' \
 		./internal/serve/... ./internal/model/... ./internal/httpserve/...
+
+# Observability smoke test: boot the real server binary with a quick-fit
+# pipeline, drive traffic, and assert /v1/metrics and /v1/trace expose a
+# non-empty, scrapeable picture of the run.
+obsv:
+	./scripts/obsv_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -48,6 +48,10 @@ func main() {
 	s := metrics.Summarize(recs)
 	fmt.Printf("queries: %d  accuracy: %.1f%%  DMR: %.1f%%  processed: %.1f%%\n",
 		s.N, 100*s.Accuracy, 100*s.DMR, 100*s.Processed)
+	if s.Degraded > 0 || s.Rejected > 0 {
+		fmt.Printf("degraded: %d (%.1f%%)  rejected: %d (%.1f%%)\n",
+			s.Degraded, 100*s.DegradedRate, s.Rejected, 100*s.RejectedRate)
+	}
 	fmt.Printf("latency: mean %v  p95 %v  max %v  mean|s|: %.2f\n",
 		s.LatMean.Round(time.Millisecond), s.LatP95.Round(time.Millisecond),
 		s.LatMax.Round(time.Millisecond), s.MeanSubsetSize)

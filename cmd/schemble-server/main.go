@@ -9,6 +9,12 @@
 //
 // With -snapshot the fitted pipeline is cached on disk, so restarts skip
 // profiling and predictor training.
+//
+// Observability: -trace-buffer keeps the last N decision traces for
+// GET /v1/trace and feeds the latency histograms behind GET /v1/metrics;
+// -trace-log streams every trace to a JSONL serving log that
+// schemble-analyze reads; -pprof-addr serves net/http/pprof on a side
+// listener kept off the public API.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +32,7 @@ import (
 	"schemble/internal/dataset"
 	"schemble/internal/httpserve"
 	"schemble/internal/model"
+	"schemble/internal/obsv"
 	"schemble/internal/pipeline"
 	"schemble/internal/serve"
 )
@@ -39,12 +47,20 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a task attempt fails transiently (0 = off)")
 	stragglerRate := flag.Float64("straggler-rate", 0, "chaos: probability a task attempt straggles at 8x latency (0 = off)")
 	crashMTBF := flag.Duration("crash-mtbf", 0, "chaos: mean time between replica crashes in virtual time (0 = off)")
+	traceBuffer := flag.Int("trace-buffer", 512, "decision traces kept for /v1/trace (0 disables tracing and the latency histograms)")
+	traceLog := flag.String("trace-log", "", "append decision traces as JSONL serving-log records to this file (implies observability on)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty = off)")
+	quick := flag.Bool("quick", false, "fit a small pipeline for smoke tests (seconds instead of minutes)")
 	flag.Parse()
 
 	cfg := pipeline.Config{
 		Dataset: dataset.TextMatching(dataset.Config{N: 4000, Seed: *seed}),
 		Models:  model.TextMatchingModels(*seed),
 		Seed:    *seed,
+	}
+	if *quick {
+		cfg.Dataset = dataset.TextMatching(dataset.Config{N: 1200, Seed: *seed})
+		cfg.PredictorEpochs = 25
 	}
 	var arts *pipeline.Artifacts
 	if *snapshot != "" {
@@ -63,6 +79,31 @@ func main() {
 				fmt.Fprintf(os.Stderr, "saved fitted pipeline to %s\n", *snapshot)
 			}
 		}
+	}
+
+	obsCfg := obsv.Config{TraceBuffer: *traceBuffer}
+	var closeSink func() (uint64, error)
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot open trace log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		obsCfg.Sink, closeSink = obsv.NewJSONLSink(f)
+		fmt.Fprintf(os.Stderr, "streaming decision traces to %s\n", *traceLog)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays on a side listener so the public API surface is
+		// unchanged; the blank pprof import registered its handlers on
+		// http.DefaultServeMux.
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof on %s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
 	}
 
 	faults := model.FaultConfig{
@@ -84,6 +125,7 @@ func main() {
 		// panics and real stragglers, and degrade at the deadline instead
 		// of missing outright.
 		Tolerance: serve.DefaultTolerance(),
+		Obs:       obsCfg,
 	})
 	if faults.Enabled() {
 		fmt.Fprintf(os.Stderr,
@@ -122,6 +164,13 @@ func main() {
 	}
 	<-idle
 	h.Close()
+	if closeSink != nil {
+		if dropped, err := closeSink(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace log: %v\n", err)
+		} else if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "trace log: %d traces dropped under backpressure\n", dropped)
+		}
+	}
 	st := rt.Stats()
 	fmt.Fprintf(os.Stderr,
 		"final runtime stats: submitted=%d served=%d degraded=%d missed=%d rejected=%d\n",

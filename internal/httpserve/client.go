@@ -54,14 +54,32 @@ func (c *Client) get(path string, resp interface{}) error {
 	return json.NewDecoder(r.Body).Decode(resp)
 }
 
-// Predict submits one inference request.
+// Predict submits one inference request. A 503 from the server (the
+// runtime shed the request) is not an error: the response comes back with
+// Rejected set so callers can distinguish load shedding from transport
+// failures.
 func (c *Client) Predict(sampleID int, deadline time.Duration) (PredictResponse, error) {
-	var resp PredictResponse
-	err := c.post("/v1/predict", PredictRequest{
+	body, err := json.Marshal(PredictRequest{
 		SampleID:   sampleID,
 		DeadlineMS: float64(deadline) / float64(time.Millisecond),
-	}, &resp)
-	return resp, err
+	})
+	if err != nil {
+		return PredictResponse{}, fmt.Errorf("httpserve client: marshal: %w", err)
+	}
+	r, err := c.HTTPClient.Post(c.BaseURL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return PredictResponse{}, fmt.Errorf("httpserve client: %w", err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK && r.StatusCode != http.StatusServiceUnavailable {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return PredictResponse{}, fmt.Errorf("httpserve client: %s: %s", r.Status, bytes.TrimSpace(msg))
+	}
+	var resp PredictResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return PredictResponse{}, fmt.Errorf("httpserve client: decode: %w", err)
+	}
+	return resp, nil
 }
 
 // Difficulty estimates the discrepancy score for raw features.
@@ -83,6 +101,30 @@ func (c *Client) Health() (HealthResponse, error) {
 	var hr HealthResponse
 	err := c.get("/v1/health", &hr)
 	return hr, err
+}
+
+// Traces fetches the last n decision traces.
+func (c *Client) Traces(last int) (TraceResponse, error) {
+	var tr TraceResponse
+	err := c.get(fmt.Sprintf("/v1/trace?last=%d", last), &tr)
+	return tr, err
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	r, err := c.HTTPClient.Get(c.BaseURL + "/v1/metrics")
+	if err != nil {
+		return "", fmt.Errorf("httpserve client: %w", err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("httpserve client: %s", r.Status)
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return "", fmt.Errorf("httpserve client: %w", err)
+	}
+	return string(body), nil
 }
 
 // Healthy reports whether the server answers its health check.

@@ -9,6 +9,14 @@
 //	GET  /v1/stats      -> served/missed counters and mean subset size
 //	GET  /v1/health     -> per-model breaker/fault health, "ok"|"degraded"
 //	GET  /v1/healthz    -> 200 "ok" (liveness only)
+//	GET  /v1/metrics    -> Prometheus text exposition (counters, gauges,
+//	                       per-outcome latency histograms)
+//	GET  /v1/trace?last=N -> the N most recent decision traces (JSON;
+//	                       requires the runtime's trace buffer)
+//
+// Predict returns 200 for served, degraded and missed outcomes; a request
+// the runtime explicitly sheds (saturation, drain) returns 503 with a
+// Retry-After hint so load balancers can back off.
 //
 // Requests reference samples by ID in the deployment's serving pool (the
 // simulator owns the inputs; a production system would carry the payload
@@ -72,6 +80,7 @@ type Stats struct {
 	Degraded       int          `json:"degraded"`
 	Missed         int          `json:"missed"`
 	Rejected       int          `json:"rejected"`
+	Canceled       int          `json:"canceled,omitempty"`
 	MeanSubsetSize float64      `json:"mean_subset_size"`
 	MeanLatencyMS  float64      `json:"mean_latency_ms"`
 	Runtime        RuntimeStats `json:"runtime"`
@@ -133,8 +142,11 @@ type Handler struct {
 	mux sync.Mutex
 	st  struct {
 		served, degraded, missed, rejected int
-		sizeSum                            int
-		latSum                             time.Duration
+		// canceled counts requests whose client disconnected before the
+		// runtime resolved them; their outcome is still recorded above.
+		canceled int
+		sizeSum  int
+		latSum   time.Duration
 	}
 }
 
@@ -193,6 +205,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.handleStats(w)
 	case r.URL.Path == "/v1/health" && r.Method == http.MethodGet:
 		h.handleHealth(w)
+	case r.URL.Path == "/v1/metrics" && r.Method == http.MethodGet:
+		h.handleMetrics(w)
+	case r.URL.Path == "/v1/trace" && r.Method == http.MethodGet:
+		h.handleTrace(w, r)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
@@ -214,9 +230,50 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
-	res := <-h.srv.Submit(sample, deadline)
+	ch := h.srv.Submit(sample, deadline)
+	var res serve.Result
+	select {
+	case res = <-ch:
+	case <-r.Context().Done():
+		// Client disconnected mid-flight. The runtime still resolves the
+		// request (exactly once), so collect its outcome in the background
+		// for truthful accounting — but never write to the dead connection.
+		go func() {
+			h.recordOutcome(<-ch, true)
+		}()
+		return
+	}
+	h.recordOutcome(res, false)
 
+	resp := PredictResponse{
+		Missed:    res.Missed,
+		Rejected:  res.Rejected,
+		Degraded:  res.Degraded,
+		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+	}
+	if !res.Missed {
+		resp.Probs = res.Output.Probs
+		resp.Value = res.Output.Value
+		resp.Subset = res.Subset.Models()
+	}
+	if res.Rejected {
+		// Load shedding, not a scheduling miss: tell clients and load
+		// balancers to back off and retry elsewhere or later.
+		w.Header().Set("Retry-After", "1")
+		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// recordOutcome folds one resolved request into the handler's counters.
+// canceled marks requests whose client went away before resolution.
+func (h *Handler) recordOutcome(res serve.Result, canceled bool) {
 	h.mux.Lock()
+	defer h.mux.Unlock()
+	if canceled {
+		h.st.canceled++
+	}
 	switch {
 	case res.Rejected:
 		h.st.rejected++
@@ -231,20 +288,6 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		h.st.sizeSum += res.Subset.Size()
 		h.st.latSum += res.Latency
 	}
-	h.mux.Unlock()
-
-	resp := PredictResponse{
-		Missed:    res.Missed,
-		Rejected:  res.Rejected,
-		Degraded:  res.Degraded,
-		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
-	}
-	if !res.Missed {
-		resp.Probs = res.Output.Probs
-		resp.Value = res.Output.Value
-		resp.Subset = res.Subset.Models()
-	}
-	writeJSON(w, resp)
 }
 
 func (h *Handler) handleDifficulty(w http.ResponseWriter, r *http.Request) {
@@ -269,7 +312,8 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 	h.mux.Lock()
 	st := h.st
 	h.mux.Unlock()
-	out := Stats{Served: st.served, Degraded: st.degraded, Missed: st.missed, Rejected: st.rejected}
+	out := Stats{Served: st.served, Degraded: st.degraded, Missed: st.missed,
+		Rejected: st.rejected, Canceled: st.canceled}
 	if done := st.served + st.degraded; done > 0 {
 		out.MeanSubsetSize = float64(st.sizeSum) / float64(done)
 		out.MeanLatencyMS = float64(st.latSum) / float64(done) / float64(time.Millisecond)
@@ -337,4 +381,11 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// writeJSONStatus writes a JSON body under a non-200 status code.
+func writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,174 @@
+package httpserve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"schemble/internal/obsv"
+	"schemble/internal/serve"
+)
+
+// TraceResponse is the /v1/trace payload.
+type TraceResponse struct {
+	// Enabled is false when the runtime was built without a trace buffer;
+	// Total/Dropped are the ring's exact lifetime counters.
+	Enabled bool                 `json:"enabled"`
+	Total   uint64               `json:"total"`
+	Dropped uint64               `json:"dropped"`
+	Traces  []obsv.DecisionTrace `json:"traces"`
+}
+
+// defaultTraceLast bounds /v1/trace responses when ?last is omitted.
+const defaultTraceLast = 64
+
+func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
+	last := defaultTraceLast
+	if q := r.URL.Query().Get("last"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	resp := TraceResponse{Traces: []obsv.DecisionTrace{}}
+	if obs := h.srv.Observer(); obs != nil {
+		resp.Enabled = true
+		snap := obs.Snapshot()
+		resp.Total, resp.Dropped = snap.TracesTotal, snap.TracesDropped
+		if traces := obs.Last(last); traces != nil {
+			resp.Traces = traces
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleMetrics renders the runtime's counters, gauges and latency
+// histograms in the Prometheus text exposition format (version 0.0.4),
+// hand-rolled so the server stays dependency-free.
+func (h *Handler) handleMetrics(w http.ResponseWriter) {
+	var b strings.Builder
+	rt := h.srv.Stats()
+
+	writeHeader(&b, "schemble_requests_total", "counter", "Resolved requests by outcome.")
+	outcomes := []struct {
+		label string
+		v     uint64
+	}{
+		{"served", rt.Served},
+		{"degraded", rt.Degraded},
+		{"missed", rt.Missed},
+		{"rejected", rt.Rejected},
+	}
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "schemble_requests_total{outcome=%q} %d\n", o.label, o.v)
+	}
+
+	writeHeader(&b, "schemble_submitted_total", "counter", "Requests accepted by Submit.")
+	fmt.Fprintf(&b, "schemble_submitted_total %d\n", rt.Submitted)
+
+	writeHeader(&b, "schemble_buffered", "gauge", "Requests awaiting scheduling.")
+	fmt.Fprintf(&b, "schemble_buffered %d\n", rt.Buffered)
+	writeHeader(&b, "schemble_inflight", "gauge", "Committed requests with unfinished tasks.")
+	fmt.Fprintf(&b, "schemble_inflight %d\n", rt.InFlight)
+	writeHeader(&b, "schemble_draining", "gauge", "1 while the runtime is draining.")
+	fmt.Fprintf(&b, "schemble_draining %d\n", boolGauge(rt.Draining))
+
+	writeModelMetrics(&b, rt)
+	writeObserverMetrics(&b, h.srv.Observer())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func writeHeader(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// writeModelMetrics renders per-model health: queue depth gauges, breaker
+// and crash-window state, and the fault/mitigation counters.
+func writeModelMetrics(b *strings.Builder, rt serve.Stats) {
+	writeHeader(b, "schemble_model_queue_depth", "gauge", "Per-model task queue occupancy.")
+	for k, m := range rt.Models {
+		fmt.Fprintf(b, "schemble_model_queue_depth{model=%q} %d\n", m.Name, rt.QueueDepth[k])
+	}
+	writeHeader(b, "schemble_model_breaker_open", "gauge", "1 while the model's circuit breaker is open.")
+	for _, m := range rt.Models {
+		fmt.Fprintf(b, "schemble_model_breaker_open{model=%q} %d\n", m.Name, boolGauge(m.Breaker == "open"))
+	}
+	writeHeader(b, "schemble_model_down", "gauge", "1 while the model replica sits in a crash-recovery window.")
+	for _, m := range rt.Models {
+		fmt.Fprintf(b, "schemble_model_down{model=%q} %d\n", m.Name, boolGauge(m.Down))
+	}
+	counters := []struct {
+		name, help string
+		v          func(serve.ModelHealth) uint64
+	}{
+		{"executed", "Tasks whose attempt chain ran.", func(m serve.ModelHealth) uint64 { return m.Executed }},
+		{"failures", "Tasks that failed permanently.", func(m serve.ModelHealth) uint64 { return m.Failures }},
+		{"transient_faults", "Transient faults observed.", func(m serve.ModelHealth) uint64 { return m.Transient }},
+		{"stragglers", "Straggling attempts observed.", func(m serve.ModelHealth) uint64 { return m.Stragglers }},
+		{"crashes", "Attempts hitting a crashed replica.", func(m serve.ModelHealth) uint64 { return m.Crashes }},
+		{"timeouts", "Attempts abandoned at the deadline.", func(m serve.ModelHealth) uint64 { return m.Timeouts }},
+		{"retries", "Retry attempts issued.", func(m serve.ModelHealth) uint64 { return m.Retries }},
+		{"hedges", "Hedge attempts issued.", func(m serve.ModelHealth) uint64 { return m.Hedges }},
+		{"breaker_trips", "Circuit breaker open transitions.", func(m serve.ModelHealth) uint64 { return m.BreakerTrips }},
+	}
+	for _, c := range counters {
+		name := "schemble_model_" + c.name + "_total"
+		writeHeader(b, name, "counter", c.help)
+		for _, m := range rt.Models {
+			fmt.Fprintf(b, "%s{model=%q} %d\n", name, m.Name, c.v(m))
+		}
+	}
+}
+
+// writeObserverMetrics renders trace counters and the per-outcome latency
+// histograms; a nil observer (observability disabled) renders nothing.
+func writeObserverMetrics(b *strings.Builder, obs *obsv.Observer) {
+	if obs == nil {
+		return
+	}
+	snap := obs.Snapshot()
+	writeHeader(b, "schemble_traces_total", "counter", "Decision traces recorded.")
+	fmt.Fprintf(b, "schemble_traces_total %d\n", snap.TracesTotal)
+	writeHeader(b, "schemble_traces_dropped_total", "counter", "Decision traces evicted from the ring buffer.")
+	fmt.Fprintf(b, "schemble_traces_dropped_total %d\n", snap.TracesDropped)
+
+	writeHeader(b, "schemble_request_latency_seconds", "histogram",
+		"End-to-end request latency (virtual time) by outcome.")
+	labels := make([]string, 0, len(snap.Latency))
+	for outcome := range snap.Latency {
+		labels = append(labels, outcome)
+	}
+	sort.Strings(labels)
+	for _, outcome := range labels {
+		hs := snap.Latency[outcome]
+		var cum uint64
+		for i, bound := range hs.Bounds {
+			cum += hs.Counts[i]
+			fmt.Fprintf(b, "schemble_request_latency_seconds_bucket{outcome=%q,le=%q} %d\n",
+				outcome, formatSeconds(bound.Seconds()), cum)
+		}
+		fmt.Fprintf(b, "schemble_request_latency_seconds_bucket{outcome=%q,le=\"+Inf\"} %d\n",
+			outcome, hs.Count)
+		fmt.Fprintf(b, "schemble_request_latency_seconds_sum{outcome=%q} %s\n",
+			outcome, formatSeconds(hs.Sum.Seconds()))
+		fmt.Fprintf(b, "schemble_request_latency_seconds_count{outcome=%q} %d\n",
+			outcome, hs.Count)
+	}
+}
+
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

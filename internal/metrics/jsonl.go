@@ -20,6 +20,8 @@ type recordJSON struct {
 	DeadlineUS int64   `json:"deadline_us"`
 	DoneUS     int64   `json:"done_us,omitempty"`
 	Missed     bool    `json:"missed"`
+	Rejected   bool    `json:"rejected,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
 	Agreement  float64 `json:"agreement"`
 	Subset     []int   `json:"subset,omitempty"`
 }
@@ -34,6 +36,8 @@ func (r Record) MarshalJSON() ([]byte, error) {
 		DeadlineUS: r.Deadline.Microseconds(),
 		DoneUS:     r.Done.Microseconds(),
 		Missed:     r.Missed,
+		Rejected:   r.Rejected,
+		Degraded:   r.Degraded,
 		Agreement:  r.Agreement,
 		Subset:     r.Subset.Models(),
 	})
@@ -52,6 +56,8 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 	r.Deadline = time.Duration(w.DeadlineUS) * time.Microsecond
 	r.Done = time.Duration(w.DoneUS) * time.Microsecond
 	r.Missed = w.Missed
+	r.Rejected = w.Rejected
+	r.Degraded = w.Degraded
 	r.Agreement = w.Agreement
 	r.Subset = ensemble.Empty
 	for _, k := range w.Subset {

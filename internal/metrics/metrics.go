@@ -24,6 +24,13 @@ type Record struct {
 	// completed.
 	Done   time.Duration
 	Missed bool
+	// Rejected marks queries the runtime shed at admission (saturation,
+	// drain, shutdown) rather than losing to the deadline; Rejected implies
+	// Missed. Degraded marks queries answered in time from a partial
+	// subset. Both default false for simulator records, which predate the
+	// runtime taxonomy.
+	Rejected bool
+	Degraded bool
 
 	// Agreement is the query's agreement with the full ensemble in [0,1]
 	// (0 when missed).
@@ -42,11 +49,22 @@ func (r Record) Latency() time.Duration {
 
 // Summary aggregates records.
 type Summary struct {
-	N         int
-	Missed    int
-	Accuracy  float64 // mean agreement with missed = 0
-	DMR       float64
-	Processed float64 // mean agreement over completed queries only
+	N int
+	// Missed counts deadline misses (excluding rejections); Rejected counts
+	// admission-shed queries; Degraded counts in-time partial-subset
+	// answers (also included in the completed-query aggregates).
+	Missed   int
+	Rejected int
+	Degraded int
+
+	Accuracy float64 // mean agreement with missed/rejected = 0
+	// DMR is the deadline miss rate over non-rejected queries' outcomes:
+	// Missed / N. Rejections are reported separately as RejectedRate so
+	// load shedding is not misread as scheduler misses.
+	DMR          float64
+	RejectedRate float64
+	DegradedRate float64
+	Processed    float64 // mean agreement over completed queries only
 
 	LatMean time.Duration // over completed queries
 	LatP95  time.Duration
@@ -68,9 +86,16 @@ func Summarize(recs []Record) Summary {
 	var accSum, procSum, sizeSum float64
 	var lats []float64
 	for _, r := range recs {
+		if r.Rejected {
+			s.Rejected++
+			continue
+		}
 		if r.Missed {
 			s.Missed++
 			continue
+		}
+		if r.Degraded {
+			s.Degraded++
 		}
 		accSum += r.Agreement
 		procSum += r.Agreement
@@ -79,7 +104,9 @@ func Summarize(recs []Record) Summary {
 	}
 	s.Accuracy = accSum / float64(s.N)
 	s.DMR = float64(s.Missed) / float64(s.N)
-	done := s.N - s.Missed
+	s.RejectedRate = float64(s.Rejected) / float64(s.N)
+	s.DegradedRate = float64(s.Degraded) / float64(s.N)
+	done := s.N - s.Missed - s.Rejected
 	if done > 0 {
 		s.Processed = procSum / float64(done)
 		s.MeanSubsetSize = sizeSum / float64(done)
@@ -103,7 +130,12 @@ func Segment(recs []Record, width, horizon time.Duration) []Summary {
 	if width <= 0 {
 		panic("metrics: non-positive segment width")
 	}
-	n := int(horizon/width) + 1
+	// ceil(horizon/width) windows cover [0, horizon); an extra trailing
+	// window only exists when the horizon spills past the last full one.
+	n := int(horizon / width)
+	if n == 0 || horizon%width != 0 {
+		n++
+	}
 	buckets := make([][]Record, n)
 	for _, r := range recs {
 		b := int(r.Arrival / width)

@@ -89,8 +89,10 @@ func TestSegment(t *testing.T) {
 		{Arrival: 15 * ms, Missed: true},
 		{Arrival: 25 * ms, Done: 30 * ms, Agreement: 1},
 	}
+	// Horizon is an exact multiple of width: exactly 3 windows, no spurious
+	// empty trailing one.
 	segs := Segment(recs, 10*ms, 30*ms)
-	if len(segs) != 4 {
+	if len(segs) != 3 {
 		t.Fatalf("segments = %d", len(segs))
 	}
 	if segs[0].N != 1 || segs[0].Accuracy != 1 {
@@ -99,8 +101,72 @@ func TestSegment(t *testing.T) {
 	if segs[1].N != 1 || segs[1].DMR != 1 {
 		t.Errorf("segment 1 = %+v", segs[1])
 	}
-	if segs[3].N != 0 {
-		t.Errorf("segment 3 should be empty: %+v", segs[3])
+	if segs[2].N != 1 {
+		t.Errorf("segment 2 = %+v", segs[2])
+	}
+}
+
+func TestSegmentBucketCount(t *testing.T) {
+	cases := []struct {
+		name    string
+		width   time.Duration
+		horizon time.Duration
+		want    int
+	}{
+		{"exact multiple", 10 * ms, 30 * ms, 3},
+		{"non-multiple rounds up", 10 * ms, 35 * ms, 4},
+		{"single window", 10 * ms, 10 * ms, 1},
+		{"horizon shorter than width", 10 * ms, 7 * ms, 1},
+		{"zero horizon still yields one window", 10 * ms, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			segs := Segment(nil, tc.width, tc.horizon)
+			if len(segs) != tc.want {
+				t.Errorf("Segment(width=%v, horizon=%v) = %d windows, want %d",
+					tc.width, tc.horizon, len(segs), tc.want)
+			}
+		})
+	}
+	// Arrivals at or past the horizon still land in the last window.
+	segs := Segment([]Record{{Arrival: 30 * ms, Missed: true}}, 10*ms, 30*ms)
+	if len(segs) != 3 || segs[2].N != 1 {
+		t.Errorf("late arrival not clamped into last window: %+v", segs)
+	}
+}
+
+func TestSummarizeTaxonomy(t *testing.T) {
+	recs := []Record{
+		{Arrival: 0, Done: 10 * ms, Agreement: 1, Subset: ensemble.Full(2)},
+		{Arrival: 0, Done: 20 * ms, Agreement: 0.5, Degraded: true, Subset: ensemble.Single(0)},
+		{Arrival: 0, Missed: true},
+		{Arrival: 0, Missed: true, Rejected: true},
+	}
+	s := Summarize(recs)
+	if s.N != 4 || s.Missed != 1 || s.Rejected != 1 || s.Degraded != 1 {
+		t.Fatalf("counts = %+v", s)
+	}
+	// Rejections are load shedding, not scheduler misses: DMR counts only
+	// the genuine deadline miss.
+	if math.Abs(s.DMR-0.25) > 1e-12 {
+		t.Errorf("DMR = %v, want 0.25", s.DMR)
+	}
+	if math.Abs(s.RejectedRate-0.25) > 1e-12 {
+		t.Errorf("RejectedRate = %v, want 0.25", s.RejectedRate)
+	}
+	if math.Abs(s.DegradedRate-0.25) > 1e-12 {
+		t.Errorf("DegradedRate = %v, want 0.25", s.DegradedRate)
+	}
+	// Accuracy counts missed and rejected as zero agreement; Processed
+	// averages only the two completed queries (degraded included).
+	if math.Abs(s.Accuracy-1.5/4) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 0.375", s.Accuracy)
+	}
+	if math.Abs(s.Processed-0.75) > 1e-12 {
+		t.Errorf("Processed = %v, want 0.75", s.Processed)
+	}
+	if math.Abs(s.MeanSubsetSize-1.5) > 1e-12 {
+		t.Errorf("MeanSubsetSize = %v, want 1.5", s.MeanSubsetSize)
 	}
 }
 
@@ -135,6 +201,11 @@ func TestJSONLRoundTrip(t *testing.T) {
 			Deadline: 105 * ms, Done: 80 * ms, Agreement: 1,
 			Subset: ensemble.Single(0).With(2)},
 		{QueryID: 1, SampleID: 4, Arrival: 6 * ms, Deadline: 106 * ms, Missed: true},
+		{QueryID: 2, SampleID: 9, Arrival: 7 * ms, Deadline: 107 * ms,
+			Missed: true, Rejected: true},
+		{QueryID: 3, SampleID: 2, Arrival: 8 * ms, Deadline: 108 * ms,
+			Done: 90 * ms, Degraded: true, Agreement: 0.5,
+			Subset: ensemble.Single(1)},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, recs); err != nil {

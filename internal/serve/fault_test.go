@@ -12,6 +12,7 @@ import (
 	"schemble/internal/dataset"
 	"schemble/internal/ensemble"
 	"schemble/internal/model"
+	"schemble/internal/pipeline"
 )
 
 // chaosFaults turns on all three fault modes at rates that exercise every
@@ -361,24 +362,68 @@ func TestServePanicFailsTaskNotWorker(t *testing.T) {
 func TestServeDrainUnderFaultsNoLeaks(t *testing.T) {
 	a := artifacts(t)
 	baseline := runtime.NumGoroutine()
+
+	// Under chaos faults an unlucky early crash can black out the whole
+	// batch — every request misses before anything serves — which makes the
+	// "drain finishes committed work" half of this scenario vacuous rather
+	// than wrong. Retry with a fresh server and seed when that happens
+	// instead of flaking; the exactly-once and lossless-resolution
+	// invariants are asserted on every attempt either way.
+	served := false
+	for seed := uint64(2); seed < 6 && !served; seed++ {
+		served = drainUnderFaultsOnce(t, a, seed)
+	}
+	if !served {
+		t.Error("drain finished no committed work under faults on any attempt")
+	}
+
+	// All runtime goroutines (workers, coordinator, deadline timers) must
+	// unwind back to the pre-Start baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutine leak: %d running, baseline %d", g, baseline)
+	}
+}
+
+// drainUnderFaultsOnce runs one submit→drain round and reports whether any
+// request was served (fully or degraded) — i.e. whether the drain had real
+// committed work to finish.
+func drainUnderFaultsOnce(t *testing.T, a *pipeline.Artifacts, seed uint64) bool {
 	s := New(Config{
 		Ensemble:  a.Ensemble,
 		Scheduler: &core.DP{Delta: 0.01},
 		Rewarder:  a.Profile,
 		Estimator: a.Predictor,
-		TimeScale: 0.1,
-		Seed:      2,
+		// A laxer compression than the other chaos tests: at 0.1 the 800ms
+		// virtual deadline is 80ms of wall clock, which race-detector
+		// scheduling noise alone can eat, blacking out the whole batch.
+		TimeScale: 0.3,
+		Seed:      seed,
 		Faults:    chaosFaults(),
 		Tolerance: DefaultTolerance(),
 	})
 	s.Start(context.Background())
+	defer s.Stop()
 
 	const n = 40
 	chans := make([]<-chan Result, n)
 	for i := 0; i < n; i++ {
 		chans[i] = s.Submit(a.Serve[i], 800*time.Millisecond)
 	}
-	time.Sleep(20 * time.Millisecond) // let work commit; faults/retries in flight
+	// Wait for the first served result before draining, so the drain has
+	// both finished and still-committed work to account for; a fixed sleep
+	// here flaked under race-detector load when no request beat its
+	// (wall-clock tiny) deadline before the drain started.
+	for limit := time.Now().Add(5 * time.Second); ; {
+		st := s.Stats()
+		if st.Served+st.Degraded > 0 || time.Now().After(limit) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -396,26 +441,13 @@ func TestServeDrainUnderFaultsNoLeaks(t *testing.T) {
 			t.Fatalf("request %d unresolved after Drain returned", i)
 		}
 	}
-	if finished == 0 {
-		t.Error("drain finished no committed work under faults")
-	}
 	// Exactly once, even with retries/hedges racing the drain.
 	time.Sleep(150 * time.Millisecond)
 	for i, ch := range chans {
 		assertNoSecondResult(t, i, ch)
 	}
-	st := s.Stats()
-	if st.Resolved != n {
+	if st := s.Stats(); st.Resolved != n {
 		t.Errorf("resolved %d/%d under drain", st.Resolved, n)
 	}
-	// All runtime goroutines (workers, coordinator, deadline timers) must
-	// unwind back to the pre-Start baseline.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > baseline {
-		t.Errorf("goroutine leak: %d running, baseline %d", g, baseline)
-	}
-	s.Stop()
+	return finished > 0
 }

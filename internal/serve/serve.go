@@ -34,6 +34,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"schemble/internal/discrepancy"
 	"schemble/internal/ensemble"
 	"schemble/internal/model"
+	"schemble/internal/obsv"
 	"schemble/internal/rng"
 )
 
@@ -82,6 +84,12 @@ type Config struct {
 	// value disables every mitigation and leaves the runtime bit-identical
 	// to the fault-free worker loop; see DefaultTolerance.
 	Tolerance ToleranceConfig
+
+	// Obs opts into request-level observability: decision traces in a
+	// bounded ring buffer plus per-outcome latency histograms. The zero
+	// value disables every hook and keeps the hot path bit-identical
+	// (observability never draws from the runtime's RNG).
+	Obs obsv.Config
 }
 
 // Result is the outcome of one request.
@@ -135,6 +143,15 @@ type request struct {
 	failed int
 	subset ensemble.Subset
 	done   chan Result
+
+	// tr is the request's decision trace, nil when observability is off.
+	// Creation-time fields are written before the request is shared,
+	// commit- and resolve-time fields under mu; the mitigation counters are
+	// atomics because workers bump them while the coordinator may resolve.
+	tr          *obsv.DecisionTrace
+	obsRetries  atomic.Uint32
+	obsHedges   atomic.Uint32
+	obsTimeouts atomic.Uint32
 }
 
 // advance moves the lifecycle forward; it never regresses and never leaves
@@ -196,6 +213,12 @@ type Server struct {
 
 	src   *rng.Source
 	srcMu sync.Mutex
+
+	// obs collects decision traces and latency histograms; nil (all hooks
+	// skipped) unless Config.Obs enables it. reqSeq numbers submissions for
+	// trace IDs.
+	obs    *obsv.Observer
+	reqSeq atomic.Uint64
 
 	// Health counters behind the Stats snapshot. buffered/inflight mirror
 	// the coordinator's private structures.
@@ -306,6 +329,7 @@ func New(cfg Config) *Server {
 		scale:    cfg.TimeScale,
 		events:   make(chan event, 4*cfg.QueueDepth),
 		src:      rng.New(cfg.Seed ^ 0x5e7e),
+		obs:      obsv.NewObserver(cfg.Obs),
 		mstats:   make([]modelCounters, m),
 		breakers: make([]breakerState, m),
 	}
@@ -471,6 +495,32 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
+// Observer exposes the server's observability collector (nil when
+// Config.Obs is disabled): decision traces via Last, counters and latency
+// histograms via Snapshot.
+func (s *Server) Observer() *obsv.Observer { return s.obs }
+
+// maxTraceAlternatives bounds how many candidate subsets a decision trace
+// records.
+const maxTraceAlternatives = 4
+
+// alternatives ranks every candidate subset by its profiled reward at the
+// query's discrepancy score and returns the top few — the options the DP
+// scheduler weighed the chosen subset against. Only called with
+// observability enabled.
+func (s *Server) alternatives(score float64) []obsv.Alternative {
+	subs := ensemble.AllSubsets(s.cfg.Ensemble.M())
+	alts := make([]obsv.Alternative, len(subs))
+	for i, sub := range subs {
+		alts[i] = obsv.Alternative{Subset: sub.Models(), Reward: s.cfg.Rewarder.Reward(score, sub)}
+	}
+	sort.SliceStable(alts, func(i, j int) bool { return alts[i].Reward > alts[j].Reward })
+	if len(alts) > maxTraceAlternatives {
+		alts = alts[:maxTraceAlternatives]
+	}
+	return alts
+}
+
 // Submit enqueues a query with a relative deadline and returns the channel
 // its Result will arrive on. Start must have been called first. The
 // returned channel always receives exactly one Result: immediately (with
@@ -491,6 +541,16 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 		deadline: now.Add(time.Duration(float64(deadline) * s.scale)),
 		done:     make(chan Result, 1),
 	}
+	if s.obs != nil {
+		queued := time.Duration(float64(now.Sub(s.start)) / s.scale)
+		req.tr = &obsv.DecisionTrace{
+			ID:       s.reqSeq.Add(1),
+			SampleID: sample.ID,
+			CameraID: sample.CameraID,
+			Queued:   queued,
+			Deadline: queued + deadline,
+		}
+	}
 	s.nSubmitted.Add(1)
 	if draining || ctx.Err() != nil {
 		s.resolve(req, Result{Missed: true, Rejected: true})
@@ -501,6 +561,10 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 		req.score = s.cfg.Estimator.Predict(sample)
 	}
 	req.advance(stateScored)
+	if req.tr != nil {
+		req.tr.Score = req.score
+		req.tr.Scored = time.Duration(float64(time.Since(s.start)) / s.scale)
+	}
 	select {
 	case s.events <- event{kind: evSubmit, req: req}:
 	default:
@@ -614,6 +678,9 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			}
 			if retry {
 				c.retries.Add(1)
+				if s.obs != nil {
+					r.obsRetries.Add(1)
+				}
 				continue
 			}
 			return out, false, true
@@ -637,6 +704,9 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 					hedge = time.NewTimer(hd)
 					hedgeC = hedge.C
 					c.hedges.Add(1)
+					if s.obs != nil {
+						r.obsHedges.Add(1)
+					}
 				}
 			}
 		}
@@ -654,6 +724,9 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			if until <= 0 {
 				stop()
 				c.timeouts.Add(1)
+				if s.obs != nil {
+					r.obsTimeouts.Add(1)
+				}
 				return out, false, true
 			}
 			if until < d {
@@ -675,6 +748,9 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			// occupying the worker past the point of usefulness.
 			stop()
 			c.timeouts.Add(1)
+			if s.obs != nil {
+				r.obsTimeouts.Add(1)
+			}
 			return out, false, true
 		}
 		if out, ok = s.safePredict(m, k, r.sample); ok {
@@ -688,6 +764,9 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 		}
 		if retry {
 			c.retries.Add(1)
+			if s.obs != nil {
+				r.obsRetries.Add(1)
+			}
 			continue
 		}
 		return out, false, true
@@ -854,6 +933,20 @@ func (s *Server) coordinate(ctx context.Context) {
 			r.remaining = sub.Size()
 			r.outs = make([]model.Output, m)
 			r.state = stateCommitted
+			if r.tr != nil {
+				// Decision context: what the runtime looked like when the
+				// subset was locked in.
+				r.tr.Committed = t
+				r.tr.Subset = sub.Models()
+				r.tr.Alternatives = s.alternatives(r.score)
+				depths := make([]int, len(s.taskCh))
+				for k, ch := range s.taskCh {
+					depths[k] = len(ch)
+				}
+				r.tr.QueueDepths = depths
+				r.tr.BusyUntil = append([]time.Duration(nil), busyUntil...)
+				r.tr.Blocked = blocked.Models()
+			}
 			r.mu.Unlock()
 			inflight[r] = true
 			for _, k := range sub.Models() {
@@ -1021,6 +1114,33 @@ func (s *Server) resolve(r *request, res Result) {
 		return
 	}
 	r.state = stateResolved
+	var trace *obsv.DecisionTrace
+	if r.tr != nil {
+		// Finalize the trace while holding the mutex that guarded its
+		// commit-time fields, then hand a copy to the observer outside the
+		// lock.
+		t := r.tr
+		t.Resolved = time.Duration(float64(time.Since(s.start)) / s.scale)
+		t.Latency = t.Resolved - t.Queued
+		t.Retries = int(r.obsRetries.Load())
+		t.Hedges = int(r.obsHedges.Load())
+		t.Timeouts = int(r.obsTimeouts.Load())
+		switch {
+		case res.Rejected:
+			t.Outcome = obsv.OutcomeRejected
+		case res.Missed:
+			t.Outcome = obsv.OutcomeMissed
+		case res.Degraded:
+			t.Outcome = obsv.OutcomeDegraded
+		default:
+			t.Outcome = obsv.OutcomeServed
+		}
+		if !res.Missed {
+			t.Served = res.Subset.Models()
+		}
+		c := *t
+		trace = &c
+	}
 	r.mu.Unlock()
 	switch {
 	case res.Rejected:
@@ -1031,6 +1151,9 @@ func (s *Server) resolve(r *request, res Result) {
 		s.nDegraded.Add(1)
 	default:
 		s.nServed.Add(1)
+	}
+	if trace != nil {
+		s.obs.Done(*trace)
 	}
 	r.done <- res
 }
