@@ -1,13 +1,29 @@
 # Development gates. `make check` is what CI runs: vet, build, and the
 # full test suite under the race detector with shuffled test order (the
 # serving runtime's exactly-once guarantees are race-tested, so -race is
-# not optional; -shuffle=on catches inter-test state leaks).
+# not optional; -shuffle=on catches inter-test state leaks). `make lint`
+# layers the project's own invariants on top: schemble-vet (the custom
+# analyzer suite in internal/analysis), a gofmt gate, and — where the
+# binary is installed — govulncheck.
 
 GO ?= go
 
-.PHONY: check vet build test test-race chaos obsv bench
+.PHONY: check lint vet build test test-race chaos obsv bench
 
 check: vet build test-race
+
+# lint runs the schemble-vet analyzer suite (determinism, outcome
+# taxonomy, float equality, test sleeps, context threading), fails on
+# unformatted files, and runs govulncheck when available (the offline
+# dev container does not ship it; CI installs it).
+lint:
+	$(GO) run ./cmd/schemble-vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; fi
 
 vet:
 	$(GO) vet ./...

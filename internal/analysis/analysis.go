@@ -1,0 +1,221 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: named analyzers that inspect one
+// type-checked package at a time and report position-anchored
+// diagnostics. It exists because schemble's correctness rests on
+// invariants the compiler cannot see — bit-identical replay under seeded
+// rng, exactly-once outcome accounting, race-free hot paths — and those
+// must be enforced at lint time, before a change that never trips the
+// runtime tests lands.
+//
+// The package adds one facility upstream go/analysis does not have:
+// first-class suppression annotations. A diagnostic reported through
+// Pass.Report carries the directive that can waive it, and a comment of
+// the form
+//
+//	//schemble:<directive> <justification>
+//
+// on the same line as the diagnostic (or the line directly above it)
+// suppresses the finding. Justifications are mandatory, unknown
+// directives are themselves diagnosed, and — when the full suite runs —
+// annotations that no longer suppress anything are flagged as stale, so
+// escape hatches cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. Unlike upstream
+// go/analysis there are no facts or requirements: every schemble
+// analyzer is local to a single package, which keeps the driver trivial.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters. It
+	// must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by schemble-vet -help.
+	Doc string
+	// Directives lists the //schemble: annotation names this analyzer
+	// honors as escape hatches. The runner uses the union across the
+	// suite to reject unknown directives.
+	Directives []string
+	// Run inspects one unit and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Directive names the escape hatch that would have suppressed this
+	// finding ("" when the invariant is not waivable).
+	Directive string
+}
+
+func (d Diagnostic) String() string {
+	msg := fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	if d.Directive != "" {
+		msg += " (//schemble:" + d.Directive + " <why> to waive)"
+	}
+	return msg
+}
+
+// A Unit is one type-checked package as the loader produced it: for
+// packages with internal tests this is the test-augmented variant (the
+// union of library and _test.go files), so analyzers see exactly what
+// the test binary compiles.
+type Unit struct {
+	// Path is the full go list import path, possibly carrying a test
+	// variant suffix such as "schemble/internal/sim [schemble/internal/sim.test]".
+	Path string
+	// Base is Path with any variant suffix stripped.
+	Base  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// BasePath strips a go list test-variant suffix from an import path.
+func BasePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// A Pass carries one (analyzer, unit) pairing plus the reporting and
+// suppression machinery.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+
+	ann    *annIndex
+	report func(Diagnostic)
+}
+
+// Fset returns the unit's file set.
+func (p *Pass) Fset() *token.FileSet { return p.Unit.Fset }
+
+// TypesInfo returns the unit's type information.
+func (p *Pass) TypesInfo() *types.Info { return p.Unit.Info }
+
+// Pkg returns the unit's type-checked package.
+func (p *Pass) Pkg() *types.Package { return p.Unit.Pkg }
+
+// IsTestFile reports whether pos falls in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Unit.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Report records a finding at pos unless a matching //schemble:directive
+// annotation suppresses it. directive may be empty for non-waivable
+// findings.
+func (p *Pass) Report(pos token.Pos, directive, format string, args ...interface{}) {
+	position := p.Unit.Fset.Position(pos)
+	if directive != "" && p.ann.suppress(position, directive) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:       position,
+		Analyzer:  p.Analyzer.Name,
+		Message:   fmt.Sprintf(format, args...),
+		Directive: directive,
+	})
+}
+
+// Options tunes a Run.
+type Options struct {
+	// ReportUnused flags valid annotations that suppressed nothing. Only
+	// enable it when the full suite runs: with a subset of analyzers an
+	// annotation's owner may simply not have executed.
+	ReportUnused bool
+	// KnownDirectives lists directive names the grammar check accepts in
+	// addition to those of the analyzers being run. A driver filtering
+	// to a subset of its suite passes the full suite's union here, so an
+	// annotation owned by an unselected analyzer is not misreported as
+	// unknown.
+	KnownDirectives []string
+}
+
+// Run executes the analyzers over every unit and returns the surviving
+// diagnostics sorted by position. Annotation-grammar violations (unknown
+// directive, missing justification, and — under opts.ReportUnused —
+// stale annotations) are reported under the pseudo-analyzer
+// "annotation".
+func Run(units []*Unit, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	known := make(map[string]bool)
+	for _, d := range opts.KnownDirectives {
+		known[d] = true
+	}
+	for _, a := range analyzers {
+		for _, d := range a.Directives {
+			known[d] = true
+		}
+	}
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, u := range units {
+		ann := indexAnnotations(u)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Unit: u, ann: ann, report: collect}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.Path, err)
+			}
+		}
+		for _, an := range ann.all {
+			switch {
+			case !known[an.name]:
+				collect(Diagnostic{
+					Pos:      an.pos,
+					Analyzer: "annotation",
+					Message: fmt.Sprintf("unknown //schemble: directive %q (known: %s)",
+						an.name, strings.Join(sortedKeys(known), ", ")),
+				})
+			case an.why == "":
+				collect(Diagnostic{
+					Pos:      an.pos,
+					Analyzer: "annotation",
+					Message:  fmt.Sprintf("//schemble:%s needs a one-line justification after the directive", an.name),
+				})
+			case opts.ReportUnused && !an.used:
+				collect(Diagnostic{
+					Pos:      an.pos,
+					Analyzer: "annotation",
+					Message:  fmt.Sprintf("stale //schemble:%s annotation: it suppresses nothing on this or the next line", an.name),
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

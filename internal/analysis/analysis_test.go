@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"schemble/internal/analysis"
+	"schemble/internal/analysis/testkit"
+)
+
+// forbidcall is a minimal analyzer — it flags every call to a function
+// literally named "forbidden" — used to exercise the framework's
+// suppression lookup and annotation-grammar diagnostics in isolation
+// from the real analyzers.
+var forbidcall = &analysis.Analyzer{
+	Name:       "forbidcall",
+	Doc:        "test analyzer: flag calls to forbidden()",
+	Directives: []string{"call-ok"},
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Unit.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "forbidden" {
+					pass.Report(call.Pos(), "call-ok", "call to forbidden()")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionAndAnnotationGrammar(t *testing.T) {
+	testkit.Run(t, forbidcall, "example.com/annot")
+}
+
+func TestBasePath(t *testing.T) {
+	cases := map[string]string{
+		"schemble/internal/sim":                              "schemble/internal/sim",
+		"schemble/internal/sim [schemble/internal/sim.test]": "schemble/internal/sim",
+		"schemble/internal/sim.test":                         "schemble/internal/sim.test",
+	}
+	for in, want := range cases {
+		if got := analysis.BasePath(in); got != want {
+			t.Errorf("BasePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// annotationPrefix introduces a suppression comment. The grammar is
+//
+//	//schemble:<directive> <one-line justification>
+//
+// with no space between "//" and "schemble:" (matching the Go
+// convention for machine-readable directives, e.g. //go:generate). An
+// annotation applies to diagnostics on its own line (end-of-line form)
+// or on the line directly below it (standalone form).
+const annotationPrefix = "//schemble:"
+
+type annotation struct {
+	pos  token.Position
+	name string // directive, e.g. "wallclock"
+	why  string // justification text, "" when missing
+	used bool   // set when it suppressed at least one diagnostic
+}
+
+// annIndex holds every //schemble: annotation in a unit, keyed by
+// file:line for suppression lookups.
+type annIndex struct {
+	all []*annotation
+	// byLine maps filename -> line -> annotations anchored there.
+	byLine map[string]map[int][]*annotation
+}
+
+// indexAnnotations scans every comment in the unit. Only line comments
+// whose text starts exactly with the prefix count; anything else is an
+// ordinary comment.
+func indexAnnotations(u *Unit) *annIndex {
+	idx := &annIndex{byLine: make(map[string]map[int][]*annotation)}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annotationPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, annotationPrefix)
+				name, why := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, why = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				an := &annotation{pos: u.Fset.Position(c.Pos()), name: name, why: why}
+				idx.all = append(idx.all, an)
+				lines := idx.byLine[an.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*annotation)
+					idx.byLine[an.pos.Filename] = lines
+				}
+				lines[an.pos.Line] = append(lines[an.pos.Line], an)
+			}
+		}
+	}
+	return idx
+}
+
+// suppress reports whether an annotation with the given directive covers
+// the position, marking it used. A malformed annotation (missing
+// justification) still suppresses — the grammar check will flag the
+// annotation itself, and reporting both would be noise.
+func (idx *annIndex) suppress(pos token.Position, directive string) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, an := range lines[line] {
+			if an.name == directive {
+				an.used = true
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+// Package ctxhttp enforces request-context threading in the HTTP layer:
+// inside any schemble/internal/httpserve function that receives an
+// *http.Request (and the closures it spawns), contexts must derive from
+// r.Context() — not context.Background(), context.TODO(), or a nil
+// context — so that a disconnecting client cancels whatever the handler
+// is blocked on. PR 3 fixed handlePredict to honor r.Context(); this
+// analyzer keeps every future handler honest.
+package ctxhttp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"schemble/internal/analysis"
+)
+
+// httpservePath scopes the analyzer to the HTTP serving layer.
+const httpservePath = "schemble/internal/httpserve"
+
+// Analyzer is the ctxhttp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxhttp",
+	Doc: "HTTP handlers must thread r.Context() into blocking work " +
+		"instead of minting fresh or nil contexts",
+	Directives: []string{"ctx-ok"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Unit.Base != httpservePath {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Unit.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			walk(pass, info, fd.Body, hasRequestParam(fn.Type().(*types.Signature)))
+		}
+	}
+	return nil
+}
+
+// walk inspects a function body. inHandler is true when the enclosing
+// function (or any enclosing closure's parent) receives an
+// *http.Request; closures inherit it, and a nested function that itself
+// takes a request starts a handler scope of its own.
+func walk(pass *analysis.Pass, info *types.Info, body ast.Node, inHandler bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			in := inHandler
+			if sig, ok := info.TypeOf(n).(*types.Signature); ok && hasRequestParam(sig) {
+				in = true
+			}
+			walk(pass, info, n.Body, in)
+			return false
+		case *ast.CallExpr:
+			if !inHandler {
+				return true
+			}
+			if analysis.IsPkgFunc(info, n, "context", "Background", "TODO") {
+				pass.Report(n.Pos(), "ctx-ok",
+					"handler mints %s.%s: derive from r.Context() so a disconnecting client cancels blocking work",
+					"context", analysis.Callee(info, n).Name())
+			}
+			reportNilContextArgs(pass, info, n)
+		}
+		return true
+	})
+}
+
+// reportNilContextArgs flags literal nil passed where the callee expects
+// a context.Context.
+func reportNilContextArgs(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if _, isNil := info.Uses[id].(*types.Nil); !isNil {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		}
+		if pt != nil && isContextType(pt) {
+			pass.Report(arg.Pos(), "ctx-ok",
+				"nil passed as context.Context: thread r.Context() through instead")
+		}
+	}
+}
+
+func hasRequestParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		ptr, ok := params.At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxhttp_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/ctxhttp"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestCtxhttp(t *testing.T) {
+	testkit.Run(t, ctxhttp.Analyzer, "schemble/internal/httpserve")
+}

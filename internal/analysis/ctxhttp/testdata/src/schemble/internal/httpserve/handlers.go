@@ -1,0 +1,38 @@
+// Package httpserve shadows the real HTTP layer: every function here
+// that receives an *http.Request is a handler scope where fresh and nil
+// contexts are forbidden.
+package httpserve
+
+import (
+	"context"
+	"net/http"
+)
+
+func doWork(ctx context.Context) {}
+
+func fanout(ctxs ...context.Context) {}
+
+func takesPtr(p *int) {}
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "handler mints context.Background"
+	_ = ctx
+	doWork(nil)         // want "nil passed as context.Context"
+	fanout(nil)         // want "nil passed as context.Context"
+	takesPtr(nil)       // nil to a non-context parameter is fine
+	doWork(r.Context()) // the approved pattern
+	go func() {
+		_ = context.TODO() // want "handler mints context.TODO"
+	}()
+}
+
+// startup takes no request: minting a root context is what it is for.
+func startup() context.Context {
+	return context.Background()
+}
+
+// detached is the audited exception: the shutdown path deliberately
+// outlives the request.
+func detached(w http.ResponseWriter, r *http.Request) {
+	doWork(context.Background()) //schemble:ctx-ok the drain path must outlive the request that triggered it
+}

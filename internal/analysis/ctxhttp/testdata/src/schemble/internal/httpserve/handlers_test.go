@@ -1,0 +1,11 @@
+package httpserve
+
+import (
+	"context"
+	"net/http"
+)
+
+// Test files are exempt: tests legitimately mint root contexts.
+func drive(r *http.Request) {
+	doWork(context.Background())
+}

@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/detrand"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestDetrandCriticalPackage(t *testing.T) {
+	testkit.Run(t, detrand.Analyzer, "schemble/internal/sim")
+}
+
+func TestDetrandOutOfScopePackage(t *testing.T) {
+	testkit.Run(t, detrand.Analyzer, "example.com/relaxed")
+}

@@ -1,0 +1,20 @@
+// Package relaxed is outside the determinism-critical set: the same
+// constructs detrand flags in schemble/internal/sim are fine here.
+package relaxed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Since(time.Now().Add(-time.Second)))))
+}
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+// Package sim is a fixture standing in for the real simulator: it sits
+// inside the determinism-critical set, so every randomness and
+// wall-clock construct below must trip detrand.
+package sim
+
+import (
+	"math/rand" // want "import of math/rand in determinism-critical package"
+	"sort"
+	"time"
+)
+
+// Draw leaks the globally-seeded generator into simulator output.
+func Draw() float64 { return rand.Float64() }
+
+// Elapsed reads the wall clock twice.
+func Elapsed() time.Duration {
+	start := time.Now()      // want "wall-clock read \\(time.Now\\)"
+	return time.Since(start) // want "wall-clock read \\(time.Since\\)"
+}
+
+// Anchor is the audited exception: the annotation on the same line
+// waives the read.
+func Anchor() int64 { return time.Now().UnixNano() } //schemble:wallclock the fixture anchors virtual time to the wall clock exactly once
+
+// Sum folds map values in randomized iteration order.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration order is randomized"
+		s += v
+	}
+	return s
+}
+
+// Keys is the approved sort-keys idiom and must stay clean.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,171 @@
+// Package exhaustiveoutcome enforces exactly-once accounting across the
+// request outcome taxonomy (served / degraded / missed / rejected,
+// declared as the Outcome* constants in schemble/internal/obsv). Any
+// switch or composite literal that dispatches on one taxonomy constant
+// must mention all of them: PR 3 fixed, by hand, a metrics path that
+// silently skipped an outcome, and this analyzer makes that bug class a
+// lint error — adding a fifth outcome will light up every dispatch site
+// that does not handle it. A default clause does not count as coverage;
+// the point is that new outcomes must be handled deliberately.
+package exhaustiveoutcome
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"schemble/internal/analysis"
+)
+
+// obsvPath declares the taxonomy. The variant set is discovered from the
+// package's scope (every exported string constant named Outcome*), so
+// the analyzer extends itself when a new outcome constant lands.
+const obsvPath = "schemble/internal/obsv"
+
+// Analyzer is the exhaustiveoutcome analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustiveoutcome",
+	Doc: "switches and composite literals over the outcome taxonomy " +
+		"must cover every Outcome* constant",
+	Directives: []string{"outcome-ok"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkSwitch(pass, info, n)
+			case *ast.CompositeLit:
+				checkComposite(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// outcomeConst returns the taxonomy constant an expression names, or nil.
+func outcomeConst(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != obsvPath || !c.Exported() {
+		return nil
+	}
+	if !strings.HasPrefix(c.Name(), "Outcome") || c.Val().Kind() != constant.String {
+		return nil
+	}
+	return c
+}
+
+// taxonomy enumerates every Outcome* string constant in the declaring
+// package's scope.
+func taxonomy(c *types.Const) []string {
+	scope := c.Pkg().Scope()
+	var all []string
+	for _, name := range scope.Names() {
+		o, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !o.Exported() || !strings.HasPrefix(name, "Outcome") {
+			continue
+		}
+		if o.Val().Kind() != constant.String {
+			continue
+		}
+		all = append(all, name)
+	}
+	sort.Strings(all)
+	return all
+}
+
+func reportMissing(pass *analysis.Pass, pos ast.Node, covered map[string]bool, ref *types.Const, kind string) {
+	var missing []string
+	for _, name := range taxonomy(ref) {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Report(pos.Pos(), "outcome-ok",
+		"%s over the outcome taxonomy is missing %s: every outcome must be accounted for exactly once",
+		kind, strings.Join(missing, ", "))
+}
+
+func checkSwitch(pass *analysis.Pass, info *types.Info, sw *ast.SwitchStmt) {
+	covered := make(map[string]bool)
+	var ref *types.Const
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if c := outcomeConst(info, e); c != nil {
+				covered[c.Name()] = true
+				ref = c
+			}
+		}
+	}
+	if ref != nil {
+		reportMissing(pass, sw, covered, ref, "switch")
+	}
+}
+
+// checkComposite looks at dispatch-shaped literals only: maps keyed by
+// outcome constants and string slices/arrays enumerating them. Literals
+// that merely mention one outcome as a value (a struct field, a map
+// value) are not dispatches and are ignored.
+func checkComposite(pass *analysis.Pass, info *types.Info, lit *ast.CompositeLit) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	var keyed bool
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		keyed = true
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			return
+		}
+	case *types.Array:
+		if b, ok := u.Elem().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			return
+		}
+	default:
+		return
+	}
+	covered := make(map[string]bool)
+	var ref *types.Const
+	for _, el := range lit.Elts {
+		e := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if !keyed {
+				continue // indexed array element, not a taxonomy key
+			}
+			e = kv.Key
+		} else if keyed {
+			continue
+		}
+		if c := outcomeConst(info, e); c != nil {
+			covered[c.Name()] = true
+			ref = c
+		}
+	}
+	if ref != nil {
+		reportMissing(pass, lit, covered, ref, "composite literal")
+	}
+}

@@ -1,0 +1,12 @@
+package exhaustiveoutcome_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/exhaustiveoutcome"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestExhaustiveOutcome(t *testing.T) {
+	testkit.Run(t, exhaustiveoutcome.Analyzer, "schemble/internal/consumer")
+}

@@ -1,0 +1,54 @@
+// Package consumer dispatches on the outcome taxonomy in every shape
+// the analyzer inspects: switches, map literals, and string slices.
+package consumer
+
+import "schemble/internal/obsv"
+
+// Partial misses two variants.
+func Partial(o string) int {
+	switch o { // want "switch over the outcome taxonomy is missing OutcomeMissed, OutcomeRejected"
+	case obsv.OutcomeServed:
+		return 1
+	case obsv.OutcomeDegraded:
+		return 2
+	}
+	return 0
+}
+
+// Full covers the whole taxonomy and must stay clean.
+func Full(o string) bool {
+	switch o {
+	case obsv.OutcomeServed, obsv.OutcomeDegraded:
+		return true
+	case obsv.OutcomeMissed, obsv.OutcomeRejected:
+		return false
+	}
+	return false
+}
+
+// weights is a dispatch-shaped map literal with a hole.
+var weights = map[string]float64{ // want "composite literal over the outcome taxonomy is missing OutcomeRejected"
+	obsv.OutcomeServed:   1,
+	obsv.OutcomeDegraded: 0.5,
+	obsv.OutcomeMissed:   0,
+}
+
+// order is a dispatch-shaped slice literal with a hole.
+var order = []string{obsv.OutcomeServed, obsv.OutcomeDegraded, obsv.OutcomeMissed} // want "composite literal over the outcome taxonomy is missing OutcomeRejected"
+
+// allOutcomes is complete and must stay clean.
+var allOutcomes = []string{obsv.OutcomeServed, obsv.OutcomeDegraded, obsv.OutcomeMissed, obsv.OutcomeRejected}
+
+// servedOnly is deliberately partial; the annotation waives it.
+//
+//schemble:outcome-ok the fixture tracks only the served outcome by design
+var servedOnly = []string{obsv.OutcomeServed}
+
+// trace mentions one outcome as a struct field value — not a dispatch,
+// so the literal below is ignored.
+type trace struct{ Outcome string }
+
+var seed = trace{Outcome: obsv.OutcomeServed}
+
+// names uses an outcome as a map VALUE, not a key: also not a dispatch.
+var names = map[int]string{1: obsv.OutcomeServed}

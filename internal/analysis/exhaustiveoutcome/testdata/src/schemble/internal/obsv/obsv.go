@@ -1,0 +1,19 @@
+// Package obsv shadows the real taxonomy package for fixture builds.
+// The analyzer discovers the variant set from this scope, so the
+// constants below define what "exhaustive" means in these tests.
+package obsv
+
+// The outcome taxonomy.
+const (
+	OutcomeServed   = "served"
+	OutcomeDegraded = "degraded"
+	OutcomeMissed   = "missed"
+	OutcomeRejected = "rejected"
+)
+
+// OutcomeCount is exported and Outcome-prefixed but not a string
+// constant: the taxonomy enumeration must skip it.
+const OutcomeCount = 4
+
+// outcomeDraft is unexported and must also be skipped.
+const outcomeDraft = "draft"

@@ -1,0 +1,89 @@
+// Package floateq flags == and != on floating-point operands outside
+// tests and the approved numeric helpers in schemble/internal/mathx.
+// Exact float equality is almost always a latent bug in a system whose
+// accuracy numbers are compared against a paper's: accumulation order,
+// fused multiply-add, and compiler changes all perturb low bits.
+// Comparisons should go through mathx (AlmostEqual) or an explicit
+// tolerance; genuinely-exact sentinel comparisons can be waived with
+// //schemble:floateq-ok.
+package floateq
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"schemble/internal/analysis"
+)
+
+// mathxPath hosts the approved comparison helpers and is itself exempt.
+const mathxPath = "schemble/internal/mathx"
+
+// Analyzer is the floateq analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "floateq",
+	Doc:        "flag ==/!= on floating-point expressions outside tests and mathx",
+	Directives: []string{"floateq-ok"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Unit.Base == mathxPath {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Unit.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info.TypeOf(be.X)) && !isFloat(info.TypeOf(be.Y)) {
+				return true
+			}
+			// x != x is the portable NaN test; both-constant comparisons
+			// are folded at compile time. Neither can misbehave at run
+			// time.
+			if sameExpr(be.X, be.Y) || (isConst(info, be.X) && isConst(info, be.Y)) {
+				return true
+			}
+			pass.Report(be.OpPos, "floateq-ok",
+				"floating-point %s is brittle (accumulation order and FMA perturb low bits): compare with mathx.AlmostEqual or an explicit tolerance",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// (the x != x NaN idiom).
+func sameExpr(a, b ast.Expr) bool {
+	var ba, bb bytes.Buffer
+	fset := token.NewFileSet()
+	if err := printer.Fprint(&ba, fset, a); err != nil {
+		return false
+	}
+	if err := printer.Fprint(&bb, fset, b); err != nil {
+		return false
+	}
+	return ba.String() == bb.String()
+}

@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/floateq"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestFloateq(t *testing.T) {
+	testkit.Run(t, floateq.Analyzer, "example.com/metrics")
+}
+
+func TestFloateqMathxExempt(t *testing.T) {
+	testkit.Run(t, floateq.Analyzer, "schemble/internal/mathx")
+}

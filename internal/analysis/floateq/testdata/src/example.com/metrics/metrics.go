@@ -1,0 +1,42 @@
+// Package metrics exercises every floateq path: flagged comparisons,
+// the NaN and constant-fold exemptions, and the waiver annotation.
+package metrics
+
+// Equal64 is the canonical violation.
+func Equal64(a, b float64) bool {
+	return a == b // want "floating-point == is brittle"
+}
+
+// Differ32 flags != and float32 alike.
+func Differ32(a, b float32) bool {
+	return a != b // want "floating-point != is brittle"
+}
+
+// EqualComplex flags complex operands too.
+func EqualComplex(a, b complex128) bool {
+	return a == b // want "floating-point == is brittle"
+}
+
+// IsNaN is the portable x != x idiom and must stay clean.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+const eps = 1e-9
+
+// constFold compares two constants: folded at compile time, clean.
+func constFold() bool {
+	return eps == 1e-9
+}
+
+// Unset treats the zero value as a sentinel; the annotation waives the
+// exact comparison.
+func Unset(x float64) bool {
+	//schemble:floateq-ok zero is the fixture's explicit "unset" sentinel, never computed
+	return x == 0
+}
+
+// ints compares integers and is out of scope entirely.
+func ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,7 @@
+package metrics
+
+// Test files may compare exactly (asserting a specific computed value
+// is often the point): this must not be reported.
+func exact(a, b float64) bool {
+	return a == b
+}

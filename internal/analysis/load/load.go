@@ -1,0 +1,234 @@
+// Package load turns Go packages into type-checked analysis.Units
+// without golang.org/x/tools: it shells out to `go list -export` for the
+// build graph and export data, parses the target packages' sources with
+// go/parser, and type-checks them with go/types, resolving standard
+// library imports through the compiler's export files via go/importer's
+// lookup hook. The result is a fully offline loader — no module proxy,
+// no vendored x/tools — that sees exactly the file set the build sees,
+// including test-augmented package variants.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"schemble/internal/analysis"
+)
+
+// Package is the subset of `go list -json` output the loader needs.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// List runs `go list` in dir with the given arguments and decodes the
+// JSON package stream. CGO is disabled so the compiled file set is pure
+// Go and identical across machines.
+func List(dir string, args ...string) ([]*Package, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*Package
+	for {
+		p := new(Package)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Exports maps each listed import path to its export-data file.
+func Exports(pkgs []*Package) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// GCImporter resolves import paths to packages by reading the compiler
+// export data named in exports. It only yields type information — no
+// syntax — which is all dependencies need.
+func GCImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// NewInfo allocates a types.Info with every map analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load lists the packages matched by patterns in the module rooted near
+// dir and returns one type-checked Unit per matched package. Packages
+// with internal tests are returned as their test-augmented variant only
+// (library + _test.go files, exactly what the test binary compiles), so
+// each source file is analyzed once. Synthesized test-main packages are
+// skipped.
+func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	args := append([]string{"-deps", "-test", "-export", "-json"}, patterns...)
+	pkgs, err := List(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	augmented := make(map[string]bool) // base paths that have a test-augmented variant
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.ForTest != "" && analysis.BasePath(p.ImportPath) == p.ForTest {
+			augmented[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	exports := Exports(pkgs)
+	gcimp := GCImporter(fset, exports)
+
+	checked := make(map[string]*analysis.Unit)
+	var check func(path string) (*analysis.Unit, error)
+	check = func(path string) (*analysis.Unit, error) {
+		if u, ok := checked[path]; ok {
+			if u == nil {
+				return nil, fmt.Errorf("import cycle through %q", path)
+			}
+			return u, nil
+		}
+		checked[path] = nil // cycle guard
+		p := byPath[path]
+		if p == nil {
+			return nil, fmt.Errorf("package %q not in go list output", path)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, af)
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Sizes: types.SizesFor("gc", runtime.GOARCH),
+			Error: func(err error) { typeErrs = append(typeErrs, err) },
+			Importer: importerFunc(func(imp string) (*types.Package, error) {
+				if imp == "unsafe" {
+					return types.Unsafe, nil
+				}
+				// go list resolves an import to its test-augmented
+				// variant when this package participates in the same
+				// test binary; mirror that resolution.
+				resolved := imp
+				for _, im := range p.Imports {
+					if im == imp || strings.HasPrefix(im, imp+" [") {
+						resolved = im
+						break
+					}
+				}
+				dep := byPath[resolved]
+				if dep != nil && !dep.Standard {
+					u, err := check(resolved)
+					if err != nil {
+						return nil, err
+					}
+					return u.Pkg, nil
+				}
+				return gcimp.Import(imp)
+			}),
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			conf.GoVersion = "go" + p.Module.GoVersion
+		}
+		info := NewInfo()
+		tpkg, err := conf.Check(analysis.BasePath(path), fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", path, err)
+		}
+		u := &analysis.Unit{
+			Path:  path,
+			Base:  analysis.BasePath(path),
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		}
+		checked[path] = u
+		return u, nil
+	}
+
+	var units []*analysis.Unit
+	for _, p := range pkgs {
+		if p.Standard || p.DepOnly || p.Module == nil {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		// A package with internal tests appears twice; analyze only the
+		// augmented variant so each file is seen once.
+		if p.ForTest == "" && augmented[p.ImportPath] {
+			continue
+		}
+		u, err := check(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

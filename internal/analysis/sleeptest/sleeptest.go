@@ -1,0 +1,41 @@
+// Package sleeptest forbids bare time.Sleep in _test.go files. A sleep
+// long enough to be reliable is too slow, and a sleep fast enough to be
+// quick is flaky under load — the deflaking of
+// TestServeDrainUnderFaultsNoLeaks (PR 3) replaced exactly this pattern
+// with polling against a deadline. Sleeps that are themselves the thing
+// under test (jitter windows, pacing) can be waived with
+// //schemble:sleep-ok.
+package sleeptest
+
+import (
+	"go/ast"
+
+	"schemble/internal/analysis"
+)
+
+// Analyzer is the sleeptest analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "sleeptest",
+	Doc:        "forbid bare time.Sleep in _test.go files; poll with a deadline instead",
+	Directives: []string{"sleep-ok"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Unit.Files {
+		if !pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsPkgFunc(info, call, "time", "Sleep") {
+				return true
+			}
+			pass.Report(call.Pos(), "sleep-ok",
+				"bare time.Sleep in a test is flaky under load and slow when safe: poll the condition with a deadline instead")
+			return true
+		})
+	}
+	return nil
+}

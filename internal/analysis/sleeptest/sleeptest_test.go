@@ -1,0 +1,12 @@
+package sleeptest_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/sleeptest"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestSleeptest(t *testing.T) {
+	testkit.Run(t, sleeptest.Analyzer, "example.com/pkg")
+}

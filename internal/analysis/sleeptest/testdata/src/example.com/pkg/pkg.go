@@ -1,0 +1,10 @@
+// Package pkg shows the sleeptest scope: time.Sleep in non-test files
+// is none of this analyzer's business.
+package pkg
+
+import "time"
+
+// Backoff sleeps in production code; retry backoff is legitimate.
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}

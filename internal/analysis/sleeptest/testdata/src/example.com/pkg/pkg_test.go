@@ -1,0 +1,14 @@
+package pkg
+
+import "time"
+
+// settle is the flaky pattern the analyzer exists to catch.
+func settle() {
+	time.Sleep(time.Millisecond) // want "bare time.Sleep in a test"
+}
+
+// pace is load-bearing and waived with a justification.
+func pace() {
+	//schemble:sleep-ok the pacing interval is itself the thing under test here
+	time.Sleep(2 * time.Millisecond)
+}

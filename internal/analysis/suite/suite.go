@@ -1,0 +1,24 @@
+// Package suite registers schemble's analyzers in one place so the
+// schemble-vet binary and the repo-wide regression test agree on what
+// "the suite" is.
+package suite
+
+import (
+	"schemble/internal/analysis"
+	"schemble/internal/analysis/ctxhttp"
+	"schemble/internal/analysis/detrand"
+	"schemble/internal/analysis/exhaustiveoutcome"
+	"schemble/internal/analysis/floateq"
+	"schemble/internal/analysis/sleeptest"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxhttp.Analyzer,
+		detrand.Analyzer,
+		exhaustiveoutcome.Analyzer,
+		floateq.Analyzer,
+		sleeptest.Analyzer,
+	}
+}

@@ -1,0 +1,53 @@
+package suite_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schemble/internal/analysis"
+	"schemble/internal/analysis/load"
+	"schemble/internal/analysis/suite"
+)
+
+func TestSuiteShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range suite.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Directives) == 0 {
+			t.Errorf("analyzer %q has no waiver directive", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean is the lint gate in test form: the full suite over
+// the whole module must report nothing, so `go test ./...` alone
+// catches a regression even when `make lint` is skipped.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+	units, err := load.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(units, suite.Analyzers(), analysis.Options{ReportUnused: true})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

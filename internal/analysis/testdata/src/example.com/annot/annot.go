@@ -1,0 +1,37 @@
+// Package annot exercises the framework itself through a synthetic
+// analyzer that flags calls to forbidden(): suppression placement in
+// both positions, and every annotation-grammar diagnostic.
+package annot
+
+func forbidden() {}
+
+// plain is the unsuppressed baseline.
+func plain() {
+	forbidden() // want "call to forbidden"
+}
+
+// sameLine waives the call with an end-of-line annotation.
+func sameLine() {
+	forbidden() //schemble:call-ok the fixture waives the same-line call
+}
+
+// lineAbove waives the call with a standalone annotation.
+func lineAbove() {
+	//schemble:call-ok the fixture waives the call on the next line
+	forbidden()
+}
+
+// typo carries a misspelled directive: it suppresses nothing, so both
+// the unknown-directive and the underlying diagnostic fire.
+func typo() {
+	forbidden() /* want "unknown //schemble: directive" "call to forbidden" */ //schemble:callok misspelled directive
+}
+
+// bare suppresses the call but is flagged for its missing why.
+func bare() {
+	forbidden() /* want "needs a one-line justification" */ //schemble:call-ok
+}
+
+// Stale: a well-formed annotation with nothing to suppress on its own
+// or the next line.
+var idle = 1 /* want "stale //schemble:call-ok annotation" */ //schemble:call-ok justified but covering nothing

@@ -1,0 +1,259 @@
+// Package testkit is the analysistest equivalent for schemble's
+// analyzer suite: it loads fixture packages from an analyzer's
+// testdata/src/<import-path>/ directory, runs one analyzer over them,
+// and matches reported diagnostics against the fixtures' expectations,
+// written as trailing comments in the upstream golden format:
+//
+//	bad() // want "regexp" "second diagnostic on the same line"
+//
+// Fixture packages may import each other (resolved within testdata/src),
+// anything from the standard library, and real schemble packages — the
+// latter two resolve through the same `go list -export` data the loader
+// uses, so fixtures exercise the analyzers against the genuine types.
+package testkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"schemble/internal/analysis"
+	"schemble/internal/analysis/load"
+)
+
+// exportData is built once per test binary: the full module+stdlib
+// export map, shared by every fixture load.
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+func moduleExports() (map[string]string, error) {
+	exportOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			exportErr = fmt.Errorf("go env GOMOD: %v", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			exportErr = fmt.Errorf("testkit requires module mode (go env GOMOD = %q)", gomod)
+			return
+		}
+		pkgs, err := load.List(filepath.Dir(gomod), "-deps", "-test", "-export", "-json", "./...")
+		if err != nil {
+			exportErr = err
+			return
+		}
+		exportMap = load.Exports(pkgs)
+	})
+	return exportMap, exportErr
+}
+
+// Run loads the fixture package at testdata/src/<pkgPath> (relative to
+// the calling test's directory), applies the analyzer with stale
+// annotation detection on, and verifies the diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := &loader{
+		t:     t,
+		fset:  token.NewFileSet(),
+		root:  filepath.Join("testdata", "src"),
+		units: make(map[string]*analysis.Unit),
+	}
+	exports, err := moduleExports()
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	ld.gcimp = load.GCImporter(ld.fset, exports)
+
+	u := ld.unit(pkgPath)
+	diags, err := analysis.Run([]*analysis.Unit{u}, []*analysis.Analyzer{a}, analysis.Options{ReportUnused: true})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	matchWants(t, ld.fset, u.Files, diags)
+}
+
+type loader struct {
+	t     *testing.T
+	fset  *token.FileSet
+	root  string
+	gcimp types.Importer
+	units map[string]*analysis.Unit
+}
+
+func (ld *loader) unit(pkgPath string) *analysis.Unit {
+	ld.t.Helper()
+	if u, ok := ld.units[pkgPath]; ok {
+		if u == nil {
+			ld.t.Fatalf("fixture import cycle through %q", pkgPath)
+		}
+		return u
+	}
+	ld.units[pkgPath] = nil
+	dir := filepath.Join(ld.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("fixture package %q: %v", pkgPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		ld.t.Fatalf("fixture package %q has no .go files", pkgPath)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == "unsafe" {
+				return types.Unsafe, nil
+			}
+			// Fixture packages shadow real ones of the same path.
+			if st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(imp))); err == nil && st.IsDir() {
+				return ld.unit(imp).Pkg, nil
+			}
+			return ld.gcimp.Import(imp)
+		}),
+	}
+	info := load.NewInfo()
+	tpkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("type-checking fixture %q: %v", pkgPath, err)
+	}
+	u := &analysis.Unit{
+		Path:  pkgPath,
+		Base:  analysis.BasePath(pkgPath),
+		Fset:  ld.fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}
+	ld.units[pkgPath] = u
+	return u
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRe extracts the expectation comments, in line or block form (the
+// block form exists so an expectation can share a line with a trailing
+// //schemble: annotation under test). Each quoted string is a regexp
+// that must match one diagnostic on the comment's line.
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)$`)
+
+func matchWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				tail := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(m[1]), "*/"))
+				patterns, err := splitQuoted(tail)
+				if err != nil {
+					t.Errorf("%s: malformed want comment: %v", pos, err)
+					continue
+				}
+				wants[k] = append(wants[k], patterns...)
+			}
+		}
+	}
+
+	unmatched := make(map[key][]string, len(wants))
+	for k, v := range wants {
+		unmatched[k] = append([]string(nil), v...)
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		patterns := unmatched[k]
+		found := -1
+		for i, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, p, err)
+				found = i
+				break
+			}
+			if re.MatchString(d.Message) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		unmatched[k] = append(patterns[:found], patterns[found+1:]...)
+	}
+	for k, patterns := range unmatched {
+		for _, p := range patterns {
+			t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, p)
+		}
+	}
+}
+
+// splitQuoted parses the tail of a want comment: a space-separated list
+// of Go-quoted ("...") or raw (`...`) strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"', '`':
+			end := strings.IndexByte(s[1:], s[0])
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			q := s[:end+2]
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("unquoting %q: %v", q, err)
+			}
+			out = append(out, u)
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want expectations must be quoted strings, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

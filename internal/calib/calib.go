@@ -24,6 +24,7 @@ func Identity() *Scaler { return &Scaler{T: 1} }
 // Apply returns probs rescaled through temperature T: softmax(log(p)/T).
 // A fresh slice is returned; probs is unmodified.
 func (s *Scaler) Apply(probs []float64) []float64 {
+	//schemble:floateq-ok T is set verbatim, never computed; exactly 1 is the identity-scaler sentinel
 	if s.T == 1 {
 		cp := make([]float64, len(probs))
 		copy(cp, probs)

@@ -93,6 +93,7 @@ func seedPlusPlus(points [][]float64, k int, src *rng.Source) [][]float64 {
 			total += d
 		}
 		var pick int
+		//schemble:floateq-ok total sums non-negative distances; it is exactly 0 only when every point coincides with a centroid
 		if total == 0 {
 			pick = src.Intn(len(points))
 		} else {

@@ -227,6 +227,7 @@ func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail []time.Durat
 // betterEntry orders candidates within the winning level: exact reward
 // descending, overall finish ascending, then lexicographic availability.
 func betterEntry(a, b *dpEntry) bool {
+	//schemble:floateq-ok deterministic tie-break: exact ties fall through to the next ordering key
 	if a.reward != b.reward {
 		return a.reward > b.reward
 	}

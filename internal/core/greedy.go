@@ -63,6 +63,7 @@ func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail []time.D
 				return qa.Arrival < qb.Arrival
 			}
 		case SJF:
+			//schemble:floateq-ok deterministic tie-break: exact ties fall through to the next ordering key
 			if qa.Score != qb.Score {
 				return qa.Score < qb.Score
 			}
@@ -88,6 +89,7 @@ func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail []time.D
 				continue
 			}
 			rw := r.Reward(q.Score, s)
+			//schemble:floateq-ok deterministic tie-break: an exact reward tie prefers the smaller subset
 			if rw > bestR || (rw == bestR && best != ensemble.Empty && s.Size() < best.Size()) {
 				best, bestR = s, rw
 				bestAvail = append(bestAvail[:0], scratch...)

@@ -76,6 +76,7 @@ func (d DifficultySpec) Sample(src *rng.Source) float64 {
 		return src.Beta(3.5, 2.2)
 	case NormalDist:
 		sd := d.StdDev
+		//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 		if sd == 0 {
 			sd = 0.03
 		}

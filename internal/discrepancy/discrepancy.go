@@ -42,6 +42,7 @@ func NewECDF(values []float64) *ECDF {
 func (e *ECDF) Value(x float64) float64 {
 	i := sort.SearchFloat64s(e.sorted, x)
 	// Advance past equal values so ties count as <=.
+	//schemble:floateq-ok tie scan over stored values: x is compared against the exact floats the ECDF was built from
 	for i < len(e.sorted) && e.sorted[i] == x {
 		i++
 	}

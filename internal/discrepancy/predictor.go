@@ -54,6 +54,7 @@ func TrainPredictor(cfg PredictorConfig, samples []*dataset.Sample, scores []flo
 	if len(samples) == 0 || len(samples) != len(scores) || len(samples) != len(taskTargets) {
 		panic("discrepancy: empty or mismatched predictor training data")
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.Lambda == 0 {
 		cfg.Lambda = 0.2
 	}

@@ -39,6 +39,7 @@ func (sc *Scorer) Score(pred, ref model.Output) float64 {
 		return 0
 	case dataset.Regression:
 		tol := sc.Tol
+		//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 		if tol == 0 {
 			tol = 1
 		}

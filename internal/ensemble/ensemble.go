@@ -111,6 +111,7 @@ func (a *Average) Aggregate(task dataset.Task, outs []model.Output, present Subs
 			totalW += a.weightOf(k)
 		}
 	}
+	//schemble:floateq-ok weights are set verbatim and non-negative; their sum is exactly 0 only when every weight is
 	if totalW == 0 {
 		panic("ensemble: aggregate over empty or zero-weight subset")
 	}

@@ -241,6 +241,7 @@ func (e *Env) RunBaseline(a *pipeline.Artifacts, b Baseline, tr *trace.Trace, tr
 	case Gating:
 		cfg.Select = a.TrainGating().Select
 	case SchembleEA, Schemble, SchembleT:
+		//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 		if delta == 0 {
 			delta = 0.01
 		}

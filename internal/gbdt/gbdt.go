@@ -181,6 +181,7 @@ func bestSplit(cfg Config, xs [][]float64, targets []float64, idx []int) (featur
 		for i := 0; i < len(pairs)-1; i++ {
 			leftSum += pairs[i].y
 			leftSq += pairs[i].y * pairs[i].y
+			//schemble:floateq-ok duplicate scan over stored feature values after sorting: a split threshold cannot separate bit-identical values
 			if pairs[i].x == pairs[i+1].x {
 				continue
 			}

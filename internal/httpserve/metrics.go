@@ -54,17 +54,22 @@ func (h *Handler) handleMetrics(w http.ResponseWriter) {
 	rt := h.srv.Stats()
 
 	writeHeader(&b, "schemble_requests_total", "counter", "Resolved requests by outcome.")
-	outcomes := []struct {
-		label string
-		v     uint64
-	}{
-		{"served", rt.Served},
-		{"degraded", rt.Degraded},
-		{"missed", rt.Missed},
-		{"rejected", rt.Rejected},
-	}
-	for _, o := range outcomes {
-		fmt.Fprintf(&b, "schemble_requests_total{outcome=%q} %d\n", o.label, o.v)
+	for _, outcome := range obsv.Outcomes {
+		// Exhaustive over the taxonomy (enforced by the
+		// exhaustiveoutcome analyzer): a new outcome must pick its
+		// Stats counter here to appear in /v1/metrics.
+		var v uint64
+		switch outcome {
+		case obsv.OutcomeServed:
+			v = rt.Served
+		case obsv.OutcomeDegraded:
+			v = rt.Degraded
+		case obsv.OutcomeMissed:
+			v = rt.Missed
+		case obsv.OutcomeRejected:
+			v = rt.Rejected
+		}
+		fmt.Fprintf(&b, "schemble_requests_total{outcome=%q} %d\n", outcome, v)
 	}
 
 	writeHeader(&b, "schemble_submitted_total", "counter", "Requests accepted by Submit.")

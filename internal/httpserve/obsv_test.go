@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"schemble/internal/testutil"
+
 	"schemble/internal/core"
 	"schemble/internal/metrics"
 	"schemble/internal/obsv"
@@ -118,19 +120,12 @@ func TestPredictClientDisconnect(t *testing.T) {
 	}
 	// The request still resolves inside the runtime and lands in the
 	// handler's counters, flagged canceled.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	testutil.Poll(t, 5*time.Second, "canceled request recorded", func() bool {
 		h.mux.Lock()
 		st := h.st
 		h.mux.Unlock()
-		if st.canceled == 1 && st.served+st.degraded+st.missed+st.rejected == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("canceled request never recorded: %+v", st)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return st.canceled == 1 && st.served+st.degraded+st.missed+st.rejected == 1
+	})
 }
 
 // promLine matches one Prometheus text-format sample line:

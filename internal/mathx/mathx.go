@@ -321,3 +321,23 @@ func MinMax(xs []float64) (min, max float64) {
 	}
 	return min, max
 }
+
+// AlmostEqual reports whether a and b agree within tol, absolutely for
+// values near zero and relatively otherwise. It is the approved way to
+// compare computed floating-point values — exact ==/!= on floats is
+// rejected by the floateq analyzer outside this package — and treats two
+// NaNs as equal so comparisons of sentinel results are stable.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true // fast path; also handles shared infinities
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

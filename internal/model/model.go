@@ -140,30 +140,37 @@ func NewSynthetic(cfg SyntheticConfig) *Synthetic {
 	if m.embDim <= 0 {
 		m.embDim = 16
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.skill == 0 {
 		m.skill = 0.8
 	}
 	if m.latency == 0 {
 		m.latency = 50 * time.Millisecond
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.jitter == 0 {
 		m.jitter = 0.06
 	}
 	if m.memory == 0 {
 		m.memory = 500 << 20
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.overConf == 0 {
 		m.overConf = 2.2
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.sharedRho == 0 {
 		m.sharedRho = 0.55
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.kappa == 0 {
 		m.kappa = 6
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.bias == 0 {
 		m.bias = 0.3
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if m.noise == 0 {
 		m.noise = 1.5
 	}

@@ -46,6 +46,7 @@ func NewObserver(cfg Config) *Observer {
 	return &Observer{
 		ring: NewRing(cfg.TraceBuffer),
 		sink: cfg.Sink,
+		//schemble:outcome-ok rejections resolve in microseconds and are tracked as counters only, never as latencies
 		lat: map[string]*Histogram{
 			OutcomeServed:   NewHistogram(),
 			OutcomeDegraded: NewHistogram(),

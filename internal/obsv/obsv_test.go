@@ -247,6 +247,7 @@ func TestObserverRecordsByOutcome(t *testing.T) {
 	if s.TracesTotal != 4 || s.TracesDropped != 0 {
 		t.Fatalf("traces = %d/%d", s.TracesTotal, s.TracesDropped)
 	}
+	//schemble:outcome-ok deliberately the three latency-tracked outcomes; the rejected case is asserted absent just below
 	for _, outcome := range []string{OutcomeServed, OutcomeDegraded, OutcomeMissed} {
 		if s.Latency[outcome].Count != 1 {
 			t.Errorf("%s histogram count = %d", outcome, s.Latency[outcome].Count)

@@ -176,10 +176,19 @@ func (t DecisionTrace) Record() metrics.Record {
 		CameraID: t.CameraID,
 		Arrival:  t.Queued,
 		Deadline: t.Deadline,
-		Missed:   t.Outcome == OutcomeMissed || t.Outcome == OutcomeRejected,
-		Rejected: t.Outcome == OutcomeRejected,
-		Degraded: t.Outcome == OutcomeDegraded,
 		Subset:   ensemble.Empty,
+	}
+	// Exhaustive over the taxonomy (enforced by the exhaustiveoutcome
+	// analyzer): a new outcome must decide its Record flags here.
+	switch t.Outcome {
+	case OutcomeServed:
+	case OutcomeDegraded:
+		rec.Degraded = true
+	case OutcomeMissed:
+		rec.Missed = true
+	case OutcomeRejected:
+		rec.Missed = true
+		rec.Rejected = true
 	}
 	if !rec.Missed {
 		rec.Done = t.Resolved

@@ -142,6 +142,7 @@ func Load(cfg Config, r io.Reader) (*Artifacts, error) {
 	if snap.Calibrators != nil {
 		a.DisScorer.Calibrators = make([]*calib.Scaler, len(snap.Calibrators))
 		for i, t := range snap.Calibrators {
+			//schemble:floateq-ok snapshot sentinel: temperature 0 round-trips verbatim through JSON and means no calibrator
 			if t != 0 {
 				a.DisScorer.Calibrators[i] = &calib.Scaler{T: t}
 			}
@@ -185,9 +186,11 @@ func buildScaffold(cfg Config) *Artifacts {
 	if cfg.Aggregator == nil {
 		cfg.Aggregator = &ensemble.Average{}
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.TrainFrac == 0 {
 		cfg.TrainFrac = 0.5
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.ValFrac == 0 {
 		cfg.ValFrac = 0.1
 	}

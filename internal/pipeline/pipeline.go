@@ -86,9 +86,11 @@ func Build(cfg Config) *Artifacts {
 	if cfg.Aggregator == nil {
 		cfg.Aggregator = &ensemble.Average{}
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.TrainFrac == 0 {
 		cfg.TrainFrac = 0.5
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.ValFrac == 0 {
 		cfg.ValFrac = 0.1
 	}

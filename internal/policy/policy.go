@@ -154,6 +154,7 @@ func TrainDES(cfg DESConfig, samples []*dataset.Sample, perModelAgree [][]float6
 	if cfg.Regions <= 0 {
 		cfg.Regions = 8
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.Threshold == 0 {
 		// Deep-model competences are close together; a tight relative
 		// threshold makes DES do what the paper observes: "execute the
@@ -248,6 +249,7 @@ func TrainGating(cfg GatingConfig, samples []*dataset.Sample, perModelAgree [][]
 	if cfg.Epochs == 0 {
 		cfg.Epochs = 60
 	}
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.95
 	}

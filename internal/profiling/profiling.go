@@ -85,6 +85,7 @@ func Build(cfg Config, scores []float64, agree func(i int, s ensemble.Subset) fl
 		global[s] /= float64(len(scores))
 	}
 	smoothing := cfg.Smoothing
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if smoothing == 0 {
 		smoothing = 25
 	}
@@ -190,6 +191,7 @@ func (p *Profile) BestSubsetWithin(score float64, allowed []ensemble.Subset) ens
 	bestR := -1.0
 	for _, s := range allowed {
 		r := p.Reward(score, s)
+		//schemble:floateq-ok deterministic tie-break: an exact reward tie prefers the smaller subset
 		if r > bestR || (r == bestR && s.Size() < best.Size()) {
 			best, bestR = s, r
 		}

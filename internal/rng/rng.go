@@ -102,6 +102,7 @@ func (r *Source) Exponential(rate float64) float64 {
 		panic("rng: Exponential with non-positive rate")
 	}
 	u := r.Float64()
+	//schemble:floateq-ok Float64 returns exactly 0 with probability 2^-53 and log(0) is -Inf; redraw on exact zero
 	for u == 0 {
 		u = r.Float64()
 	}
@@ -118,6 +119,7 @@ func (r *Source) Gamma(shape, scale float64) float64 {
 	if shape < 1 {
 		// Gamma(a) = Gamma(a+1) * U^(1/a)
 		u := r.Float64()
+		//schemble:floateq-ok Float64 returns exactly 0 with probability 2^-53 and pow(0, 1/a) collapses the draw; redraw on exact zero
 		for u == 0 {
 			u = r.Float64()
 		}
@@ -146,6 +148,7 @@ func (r *Source) Gamma(shape, scale float64) float64 {
 func (r *Source) Beta(a, b float64) float64 {
 	x := r.Gamma(a, 1)
 	y := r.Gamma(b, 1)
+	//schemble:floateq-ok gamma draws are non-negative; the ratio is 0/0 only when both are exactly 0
 	if x+y == 0 {
 		return 0.5
 	}

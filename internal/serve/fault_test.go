@@ -13,6 +13,7 @@ import (
 	"schemble/internal/ensemble"
 	"schemble/internal/model"
 	"schemble/internal/pipeline"
+	"schemble/internal/testutil"
 )
 
 // chaosFaults turns on all three fault modes at rates that exercise every
@@ -62,6 +63,7 @@ func TestChaosFaultInjectionStress(t *testing.T) {
 			defer wg.Done()
 			for i := w; i < n; i += submitters {
 				chans[i] = s.Submit(a.Serve[i%len(a.Serve)], time.Second)
+				//schemble:sleep-ok arrival pacing: the gap shapes the workload so commits, retries, and hedges overlap in flight
 				time.Sleep(6 * time.Millisecond)
 			}
 		}()
@@ -102,6 +104,7 @@ func TestChaosFaultInjectionStress(t *testing.T) {
 	}
 	// Exactly once: give late timers a beat, then check no channel holds a
 	// second result.
+	//schemble:sleep-ok negative check: waits for a double-delivery that must NOT happen, so there is no condition to poll
 	time.Sleep(100 * time.Millisecond)
 	for i, ch := range chans {
 		assertNoSecondResult(t, i, ch)
@@ -379,10 +382,7 @@ func TestServeDrainUnderFaultsNoLeaks(t *testing.T) {
 
 	// All runtime goroutines (workers, coordinator, deadline timers) must
 	// unwind back to the pre-Start baseline.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
-	}
+	testutil.Wait(5*time.Second, func() bool { return runtime.NumGoroutine() <= baseline })
 	if g := runtime.NumGoroutine(); g > baseline {
 		t.Errorf("goroutine leak: %d running, baseline %d", g, baseline)
 	}
@@ -416,14 +416,12 @@ func drainUnderFaultsOnce(t *testing.T, a *pipeline.Artifacts, seed uint64) bool
 	// Wait for the first served result before draining, so the drain has
 	// both finished and still-committed work to account for; a fixed sleep
 	// here flaked under race-detector load when no request beat its
-	// (wall-clock tiny) deadline before the drain started.
-	for limit := time.Now().Add(5 * time.Second); ; {
+	// (wall-clock tiny) deadline before the drain started. Proceed on
+	// timeout: the drain assertions below hold either way.
+	testutil.Wait(5*time.Second, func() bool {
 		st := s.Stats()
-		if st.Served+st.Degraded > 0 || time.Now().After(limit) {
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return st.Served+st.Degraded > 0
+	})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -442,6 +440,7 @@ func drainUnderFaultsOnce(t *testing.T, a *pipeline.Artifacts, seed uint64) bool
 		}
 	}
 	// Exactly once, even with retries/hedges racing the drain.
+	//schemble:sleep-ok negative check: waits for a double-delivery that must NOT happen, so there is no condition to poll
 	time.Sleep(150 * time.Millisecond)
 	for i, ch := range chans {
 		assertNoSecondResult(t, i, ch)

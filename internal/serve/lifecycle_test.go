@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"schemble/internal/core"
+	"schemble/internal/testutil"
 )
 
 // assertNoSecondResult fails the test if a resolved request's channel
@@ -50,7 +51,12 @@ func TestServeStressExactlyOnce(t *testing.T) {
 	stopped := make(chan struct{})
 	go func() {
 		defer close(stopped)
-		time.Sleep(20 * time.Millisecond) // let some work commit first
+		// Let some work commit first; on timeout stop anyway — the
+		// assertions below hold for any commit/stop interleaving.
+		testutil.Wait(time.Second, func() bool {
+			st := s.Stats()
+			return st.InFlight > 0 || st.Resolved > 0
+		})
 		s.Stop()
 	}()
 	wg.Wait()
@@ -70,6 +76,7 @@ func TestServeStressExactlyOnce(t *testing.T) {
 	}
 	// Give late deadline timers time to fire, then confirm nothing
 	// double-delivered.
+	//schemble:sleep-ok negative check: waits for a double-delivery that must NOT happen, so there is no condition to poll
 	time.Sleep(100 * time.Millisecond)
 	for i, ch := range results {
 		assertNoSecondResult(t, i, ch)
@@ -136,7 +143,10 @@ func TestServeTinyQueueOverflow(t *testing.T) {
 	}
 	// The runtime must remain healthy: an uncontended request afterwards
 	// is served, not rejected.
-	time.Sleep(100 * time.Millisecond)
+	testutil.Poll(t, 5*time.Second, "burst backlog cleared", func() bool {
+		st := s.Stats()
+		return st.Buffered == 0 && st.InFlight == 0
+	})
 	select {
 	case r := <-s.Submit(a.Serve[0], time.Second):
 		if r.Rejected {
@@ -160,7 +170,10 @@ func TestServeDrainFinishesCommitted(t *testing.T) {
 	for i := 0; i < n; i++ {
 		chans[i] = s.Submit(a.Serve[i], 2*time.Second)
 	}
-	time.Sleep(30 * time.Millisecond) // let the coordinator commit some
+	testutil.Poll(t, 5*time.Second, "coordinator committed work", func() bool {
+		st := s.Stats()
+		return st.InFlight > 0 || st.Resolved > 0
+	})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -370,6 +370,7 @@ func (s *Server) Start(ctx context.Context) {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	s.ctx, s.cancel = ctx, cancel
+	//schemble:wallclock virtual time is anchored to the wall clock once, at Start; every virtual timestamp derives from this instant
 	s.start = time.Now()
 	s.lifeMu.Unlock()
 	for k := range s.taskCh {
@@ -462,6 +463,7 @@ func (s *Server) Stats() Stats {
 	for k, ch := range s.taskCh {
 		st.QueueDepth[k] = len(ch)
 	}
+	//schemble:wallclock health snapshot: crash-recovery windows are wall-clock scheduled by the fault injector
 	wallNow := time.Now()
 	s.breakerMu.Lock()
 	for k := range st.Models {
@@ -534,6 +536,7 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 	if ctx == nil {
 		panic("serve: Submit before Start")
 	}
+	//schemble:wallclock arrival is wall-anchored; deadlines and virtual timestamps are derived from it via the configured TimeScale
 	now := time.Now()
 	req := &request{
 		sample:   sample,
@@ -563,6 +566,7 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 	req.advance(stateScored)
 	if req.tr != nil {
 		req.tr.Score = req.score
+		//schemble:wallclock converts a wall instant to virtual time against the Start anchor
 		req.tr.Scored = time.Duration(float64(time.Since(s.start)) / s.scale)
 	}
 	select {
@@ -585,6 +589,7 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 	// resolve never-scheduled requests. Delivery is lossless: the timer
 	// goroutine blocks until the coordinator takes the event, and falls
 	// back to resolving directly once the runtime is shutting down.
+	//schemble:wallclock deadline timers fire in wall time; the deadline itself was derived from the virtual budget at Submit
 	time.AfterFunc(time.Until(req.deadline), func() {
 		if req.isResolved() {
 			return
@@ -664,6 +669,7 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 		s.srcMu.Unlock()
 		dec := model.Decision{Kind: model.FaultNone, LatencyFactor: 1}
 		if inj != nil {
+			//schemble:wallclock fault injection decides transient/crash windows in wall time, matching model.Faulty's schedule
 			dec = inj.Attempt(time.Now(), lat)
 		}
 		if dec.Kind == model.FaultCrash || dec.Kind == model.FaultTransient {
@@ -720,6 +726,7 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			}
 		}
 		if s.tol.TaskTimeout {
+			//schemble:wallclock per-attempt timeout budget is the wall-clock distance to the request deadline
 			until := time.Until(r.deadline)
 			if until <= 0 {
 				stop()
@@ -785,6 +792,7 @@ func (s *Server) backoff(ctx context.Context, r *request, attempt int) (retry, a
 	jit := time.Duration(s.src.Float64() * float64(base))
 	s.srcMu.Unlock()
 	d := time.Duration(float64(base<<uint(attempt)+jit) * s.scale)
+	//schemble:wallclock retry budget check: backoff is only worth paying if it still fits before the wall-clock deadline
 	if s.tol.TaskTimeout && time.Now().Add(d).After(r.deadline) {
 		// No budget left to retry inside the deadline.
 		return false, true
@@ -834,6 +842,7 @@ func (s *Server) coordinate(ctx context.Context) {
 	draining := false
 
 	now := func() time.Duration {
+		//schemble:wallclock converts a wall instant to virtual time against the Start anchor
 		return time.Duration(float64(time.Since(s.start)) / s.scale)
 	}
 	syncGauges := func() {
@@ -841,6 +850,7 @@ func (s *Server) coordinate(ctx context.Context) {
 		s.nInflight.Store(int64(len(inflight)))
 	}
 	latency := func(r *request) time.Duration {
+		//schemble:wallclock latency is the wall-clock distance from arrival, descaled to virtual time
 		return time.Duration(float64(time.Since(r.arrived)) / s.scale)
 	}
 
@@ -864,6 +874,7 @@ func (s *Server) coordinate(ctx context.Context) {
 		// the scheduler plans subsets around them.
 		blocked := s.breakerBlocked(t)
 		if s.faulty != nil {
+			//schemble:wallclock crash-recovery windows are wall-clock scheduled by the fault injector
 			wallNow := time.Now()
 			for k, f := range s.faulty {
 				if f != nil && f.Down(wallNow) {
@@ -978,6 +989,7 @@ func (s *Server) coordinate(ctx context.Context) {
 			s.resolve(r, Result{Missed: true})
 		}
 		buffer = nil
+		//schemble:maporder-ok each in-flight request resolves independently to its own channel; no ordered output derives from this sweep
 		for r := range inflight {
 			s.resolve(r, Result{Missed: true})
 			delete(inflight, r)
@@ -1036,6 +1048,7 @@ func (s *Server) coordinate(ctx context.Context) {
 						s.resolve(r, Result{Subset: sub, Missed: true, Latency: latency(r)})
 					} else {
 						out := s.cfg.Ensemble.Predict(outs, okMask)
+						//schemble:wallclock lateness is judged against the wall-clock deadline set at Submit
 						late := time.Now().After(r.deadline)
 						s.resolve(r, Result{
 							Output:   out,
@@ -1120,6 +1133,7 @@ func (s *Server) resolve(r *request, res Result) {
 		// commit-time fields, then hand a copy to the observer outside the
 		// lock.
 		t := r.tr
+		//schemble:wallclock converts the resolution instant to virtual time against the Start anchor
 		t.Resolved = time.Duration(float64(time.Since(s.start)) / s.scale)
 		t.Latency = t.Resolved - t.Queued
 		t.Retries = int(r.obsRetries.Load())

@@ -53,7 +53,8 @@ func TestServeLightLoad(t *testing.T) {
 	chans := make([]<-chan Result, n)
 	for i := 0; i < n; i++ {
 		chans[i] = s.Submit(a.Serve[i], 600*time.Millisecond)
-		time.Sleep(25 * time.Millisecond) // ~ light arrival spacing at 10x
+		//schemble:sleep-ok arrival pacing: light spacing at 10x time-scale keeps the queue shallow so most requests are servable
+		time.Sleep(25 * time.Millisecond)
 	}
 	missed, agree := 0, 0
 	for i, ch := range chans {

@@ -216,6 +216,7 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 		}
 	}
 	margin := cfg.EstimateMargin
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if margin == 0 {
 		margin = 0.1
 	}
@@ -377,6 +378,7 @@ func (s *sim) enqueue(si int, t *task) {
 	cost := s.exec[sv.typeIdx]
 	if b := s.cfg.BatchSize; b > 1 {
 		marginal := s.cfg.BatchMarginal
+		//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 		if marginal == 0 {
 			marginal = 0.15
 		}
@@ -404,6 +406,7 @@ func (s *sim) maybeStart(si int) {
 	batch := sv.queue[:n]
 	sv.queue = sv.queue[n:]
 	marginal := s.cfg.BatchMarginal
+	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
 	if marginal == 0 {
 		marginal = 0.15
 	}

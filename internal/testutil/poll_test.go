@@ -1,0 +1,62 @@
+package testutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type fakeTB struct {
+	testing.TB
+	failed string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Fatalf(format string, args ...interface{}) {
+	f.failed = format
+}
+
+func TestPollImmediateSuccess(t *testing.T) {
+	var tb fakeTB
+	calls := 0
+	start := time.Now()
+	Poll(&tb, time.Second, "immediate", func() bool { calls++; return true })
+	if tb.failed != "" {
+		t.Fatalf("Poll failed on an immediately-true condition")
+	}
+	if calls != 1 {
+		t.Errorf("condition evaluated %d times, want 1", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("immediate success took %v", elapsed)
+	}
+}
+
+func TestPollEventualSuccess(t *testing.T) {
+	var tb fakeTB
+	var n atomic.Int32
+	Poll(&tb, 5*time.Second, "third try", func() bool { return n.Add(1) >= 3 })
+	if tb.failed != "" {
+		t.Fatal("Poll failed on a condition that becomes true")
+	}
+	if got := n.Load(); got < 3 {
+		t.Errorf("condition evaluated %d times, want >= 3", got)
+	}
+}
+
+func TestPollTimeout(t *testing.T) {
+	var tb fakeTB
+	Poll(&tb, 5*time.Millisecond, "never", func() bool { return false })
+	if tb.failed == "" {
+		t.Fatal("Poll did not fail on timeout")
+	}
+}
+
+func TestWait(t *testing.T) {
+	if !Wait(time.Second, func() bool { return true }) {
+		t.Error("Wait(true) = false")
+	}
+	if Wait(5*time.Millisecond, func() bool { return false }) {
+		t.Error("Wait(false) = true")
+	}
+}
