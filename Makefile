@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test test-race chaos obsv bench
+.PHONY: check lint vet build test test-race chaos obsv bench fuzz cover
 
 check: vet build test-race
 
@@ -53,3 +53,26 @@ obsv:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Short coverage-guided fuzzing bursts over the scheduler and the HTTP
+# surface, seeded from testdata/fuzz. FUZZTIME=5m for a deeper local run;
+# new crashers land in testdata/fuzz/<target> and become regression
+# seeds.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzDPSchedule' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz 'FuzzHTTPPredict' -fuzztime $(FUZZTIME) ./internal/httpserve/
+
+# Coverage gate on the paper-critical packages: the scheduler (the paper's
+# contribution) and the serving runtime (where concurrency bugs hide).
+# Thresholds are floors, not targets — raise them as coverage grows.
+COVER_CORE_MIN ?= 90
+COVER_SERVE_MIN ?= 85
+cover:
+	$(GO) test -race -coverprofile=cover-core.out ./internal/core/
+	$(GO) test -race -coverprofile=cover-serve.out ./internal/serve/
+	@core=$$($(GO) tool cover -func=cover-core.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
+	serve=$$($(GO) tool cover -func=cover-serve.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
+	echo "coverage: internal/core $$core% (floor $(COVER_CORE_MIN)%), internal/serve $$serve% (floor $(COVER_SERVE_MIN)%)"; \
+	awk -v c="$$core" -v s="$$serve" -v cm="$(COVER_CORE_MIN)" -v sm="$(COVER_SERVE_MIN)" \
+		'BEGIN { if (c+0 < cm+0 || s+0 < sm+0) { print "coverage below floor"; exit 1 } }'

@@ -126,7 +126,7 @@ func benchmarkScheduler(b *testing.B, s core.Scheduler, n, m int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Schedule(0, queries, avail, exec, r)
+		s.Schedule(0, queries, core.SingleReplica(avail), exec, r)
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,12 +39,48 @@ import (
 	"schemble/internal/serve"
 )
 
+// parseReplicas turns the -replicas flag into a per-model pool-size
+// vector: empty means nil (one replica each), a single integer applies to
+// every model, and a comma list must name every model in order.
+func parseReplicas(s string, m int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	vals := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("entry %d (%q) is not an integer", i, p)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("entry %d (%d) must be >= 1", i, v)
+		}
+		vals[i] = v
+	}
+	if len(vals) == 1 {
+		out := make([]int, m)
+		for i := range out {
+			out[i] = vals[0]
+		}
+		return out, nil
+	}
+	if len(vals) != m {
+		return nil, fmt.Errorf("got %d entries, deployment has %d models", len(vals), m)
+	}
+	return vals, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	timescale := flag.Float64("timescale", 0.1, "wall-clock compression for simulated model latencies")
 	seed := flag.Uint64("seed", 7, "deployment seed")
 	snapshot := flag.String("snapshot", "", "path to cache the fitted pipeline (empty = refit on every start)")
 	queueDepth := flag.Int("queuedepth", 0, "per-model task queue bound (0 = default 1024); full queues reject instead of blocking")
+	replicasFlag := flag.String("replicas", "", "replica-pool sizes: one int for every model (e.g. 4) or a comma list per model (e.g. 1,2,4); empty = 1 each")
+	batchMax := flag.Int("batch", 0, "micro-batch cap per replica (0 or 1 disables batching)")
+	batchLinger := flag.Duration("batch-linger", 0, "longest a forming batch waits for stragglers once the queue is empty, in virtual time")
+	batchMarginal := flag.Float64("batch-marginal", 0, "incremental cost of one extra batched item as a fraction of single-item latency (0 = default 0.15)")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful-shutdown grace period for committed in-flight work")
 	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a task attempt fails transiently (0 = off)")
 	stragglerRate := flag.Float64("straggler-rate", 0, "chaos: probability a task attempt straggles at 8x latency (0 = off)")
@@ -112,6 +150,11 @@ func main() {
 		CrashMTBF:     *crashMTBF,
 		Seed:          *seed,
 	}
+	replicas, err := parseReplicas(*replicasFlag, arts.Ensemble.M())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-replicas: %v\n", err)
+		os.Exit(2)
+	}
 	rt := serve.New(serve.Config{
 		Ensemble:   arts.Ensemble,
 		Scheduler:  &core.DP{Delta: 0.01},
@@ -119,8 +162,14 @@ func main() {
 		Estimator:  arts.Predictor,
 		TimeScale:  *timescale,
 		QueueDepth: *queueDepth,
-		Seed:       *seed,
-		Faults:     faults,
+		Replicas:   replicas,
+		Batching: serve.BatchConfig{
+			MaxBatch:  *batchMax,
+			MaxLinger: *batchLinger,
+			Curve:     model.BatchCurve{Marginal: *batchMarginal},
+		},
+		Seed:   *seed,
+		Faults: faults,
 		// Mitigations stay on even without injection: they also cover
 		// panics and real stragglers, and degrade at the deadline instead
 		// of missing outright.
@@ -131,6 +180,10 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"chaos enabled: fault-rate=%.3f straggler-rate=%.3f crash-mtbf=%v\n",
 			*faultRate, *stragglerRate, *crashMTBF)
+	}
+	if replicas != nil || *batchMax > 1 {
+		fmt.Fprintf(os.Stderr, "replica pools: %v  micro-batching: max=%d linger=%v\n",
+			replicas, *batchMax, *batchLinger)
 	}
 	h := httpserve.New(httpserve.Config{
 		Server:    rt,

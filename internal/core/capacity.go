@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"schemble/internal/ensemble"
+)
+
+// Capacity is the scheduler's view of fleet availability once models run
+// as replica pools: Capacity[k][r] is the absolute (virtual) time replica
+// r of model k finishes the work already committed to it (values in the
+// past mean "idle now"). A model with a single replica degenerates to the
+// scalar busy-until the schedulers used before replica pools existed, and
+// every scheduler in this package is bit-identical to its scalar
+// predecessor in that case.
+type Capacity [][]time.Duration
+
+// SingleReplica lifts a per-model availability vector (one replica per
+// model) into a Capacity.
+func SingleReplica(avail []time.Duration) Capacity {
+	c := make(Capacity, len(avail))
+	for k, a := range avail {
+		c[k] = []time.Duration{a}
+	}
+	return c
+}
+
+// M returns the number of models.
+func (c Capacity) M() int { return len(c) }
+
+// layout maps the flattened replica-slot vector back to models: model k
+// owns slots[off[k]:off[k+1]], kept sorted ascending so slot off[k] is
+// always the earliest-available replica (the root of that model's
+// min-heap, stored flat so Pareto dominance stays a plain element-wise
+// comparison).
+type layout struct{ off []int }
+
+func (l layout) m() int { return len(l.off) - 1 }
+
+// flatten clamps every replica slot to now (a replica free in the past is
+// free now), sorts each model's slots ascending, and concatenates the
+// segments model-major. A model with no declared replicas gets one idle
+// slot. With one replica per model the result is exactly the normalized
+// per-model availability vector the schedulers consumed before pools.
+func flatten(now time.Duration, c Capacity) ([]time.Duration, layout) {
+	off := make([]int, len(c)+1)
+	total := 0
+	for k, slots := range c {
+		off[k] = total
+		n := len(slots)
+		if n == 0 {
+			n = 1
+		}
+		total += n
+	}
+	off[len(c)] = total
+	flat := make([]time.Duration, total)
+	for k, slots := range c {
+		seg := flat[off[k]:off[k+1]]
+		if len(slots) == 0 {
+			seg[0] = now
+			continue
+		}
+		for i, a := range slots {
+			if a < now {
+				a = now
+			}
+			seg[i] = a
+		}
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+	return flat, layout{off: off}
+}
+
+// completion computes when a query executing subset s would finish given
+// the flattened slot vector avail: each chosen model runs the task on its
+// earliest-available replica, whose new finish time is re-inserted in
+// sorted position within the model's segment. dst (len(avail)) is
+// overwritten with the resulting availability; the return value is the
+// completion time, i.e. the latest finish among the chosen models.
+func (l layout) completion(avail, exec []time.Duration, s ensemble.Subset, dst []time.Duration) time.Duration {
+	copy(dst, avail)
+	var done time.Duration
+	for k := 0; k < l.m(); k++ {
+		if !s.Contains(k) {
+			continue
+		}
+		seg := dst[l.off[k]:l.off[k+1]]
+		finish := seg[0] + exec[k]
+		i := 0
+		for i+1 < len(seg) && seg[i+1] < finish {
+			seg[i] = seg[i+1]
+			i++
+		}
+		seg[i] = finish
+		if finish > done {
+			done = finish
+		}
+	}
+	return done
+}

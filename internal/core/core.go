@@ -54,11 +54,12 @@ func (p Plan) Subset(id int) ensemble.Subset { return p.Assignments[id] }
 // Scheduler solves the local scheduling subproblem at one instant.
 type Scheduler interface {
 	Name() string
-	// Schedule plans subsets for queries. now is the current time; avail[k]
-	// is the absolute time model k finishes its in-flight work (values in
-	// the past mean "idle now"); exec[k] is the expected execution time of
-	// one task on model k.
-	Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan
+	// Schedule plans subsets for queries. now is the current time;
+	// avail[k][r] is the absolute time replica r of model k finishes its
+	// in-flight work (values in the past mean "idle now"); exec[k] is the
+	// expected execution time of one task on model k — the amortized
+	// per-item cost when the runtime micro-batches.
+	Schedule(now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan
 }
 
 // edfOrder returns the indices of queries sorted by deadline, then arrival,
@@ -79,39 +80,4 @@ func edfOrder(queries []QueryInfo) []int {
 		return qa.ID < qb.ID
 	})
 	return idx
-}
-
-// normalizeAvail clamps availability to now (a model free in the past is
-// free now) and returns a fresh slice.
-func normalizeAvail(now time.Duration, avail []time.Duration) []time.Duration {
-	out := make([]time.Duration, len(avail))
-	for k, a := range avail {
-		if a < now {
-			a = now
-		}
-		out[k] = a
-	}
-	return out
-}
-
-// completion computes when a query executing subset s would finish, given
-// the availability vector, and the resulting new availability. It returns
-// the completion time; newAvail is written in place into dst (which must
-// start as a copy of avail).
-func completion(avail []time.Duration, exec []time.Duration, s ensemble.Subset, dst []time.Duration) time.Duration {
-	var done time.Duration
-	for k := range avail {
-		dst[k] = avail[k]
-	}
-	for k := range avail {
-		if !s.Contains(k) {
-			continue
-		}
-		finish := avail[k] + exec[k]
-		dst[k] = finish
-		if finish > done {
-			done = finish
-		}
-	}
-	return done
 }

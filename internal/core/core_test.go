@@ -36,17 +36,17 @@ const ms = time.Millisecond
 
 // checkFeasible simulates the plan in EDF order and fails the test if any
 // assigned query misses its deadline.
-func checkFeasible(t *testing.T, plan Plan, now time.Duration, queries []QueryInfo, avail, exec []time.Duration) {
+func checkFeasible(t *testing.T, plan Plan, now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration) {
 	t.Helper()
-	cur := normalizeAvail(now, avail)
-	scratch := make([]time.Duration, len(avail))
+	cur, lay := flatten(now, avail)
+	scratch := make([]time.Duration, len(cur))
 	for _, qi := range edfOrder(queries) {
 		q := queries[qi]
 		s := plan.Subset(q.ID)
 		if s == ensemble.Empty {
 			continue
 		}
-		done := completion(cur, exec, s, scratch)
+		done := lay.completion(cur, exec, s, scratch)
 		if done > q.Deadline {
 			t.Fatalf("query %d finishes at %v after deadline %v", q.ID, done, q.Deadline)
 		}
@@ -72,11 +72,11 @@ func TestDPSingleEasyQueryGetsFullEnsemble(t *testing.T) {
 	queries := []QueryInfo{{ID: 1, Deadline: 200 * ms, Score: 0.1}}
 	avail := []time.Duration{0, 0, 0}
 	exec := []time.Duration{20 * ms, 80 * ms, 90 * ms}
-	plan := d.Schedule(0, queries, avail, exec, powRewarder{})
+	plan := d.Schedule(0, queries, SingleReplica(avail), exec, powRewarder{})
 	if got := plan.Subset(1); got != ensemble.Full(3) {
 		t.Errorf("uncontended query got %v, want full ensemble", got)
 	}
-	checkFeasible(t, plan, 0, queries, avail, exec)
+	checkFeasible(t, plan, 0, queries, SingleReplica(avail), exec)
 }
 
 func TestDPRespectsDeadline(t *testing.T) {
@@ -85,7 +85,7 @@ func TestDPRespectsDeadline(t *testing.T) {
 	queries := []QueryInfo{{ID: 1, Deadline: 30 * ms, Score: 0.2}}
 	avail := []time.Duration{0, 0, 0}
 	exec := []time.Duration{20 * ms, 80 * ms, 90 * ms}
-	plan := d.Schedule(0, queries, avail, exec, powRewarder{})
+	plan := d.Schedule(0, queries, SingleReplica(avail), exec, powRewarder{})
 	if got := plan.Subset(1); got != ensemble.Single(0) {
 		t.Errorf("tight deadline got %v, want {0}", got)
 	}
@@ -94,7 +94,7 @@ func TestDPRespectsDeadline(t *testing.T) {
 func TestDPImpossibleDeadlineSkips(t *testing.T) {
 	d := &DP{Delta: 0.01}
 	queries := []QueryInfo{{ID: 1, Deadline: 5 * ms, Score: 0.2}}
-	plan := d.Schedule(0, queries, []time.Duration{0}, []time.Duration{20 * ms}, powRewarder{})
+	plan := d.Schedule(0, queries, SingleReplica([]time.Duration{0}), []time.Duration{20 * ms}, powRewarder{})
 	if got := plan.Subset(1); got != ensemble.Empty {
 		t.Errorf("infeasible query got %v, want skip", got)
 	}
@@ -116,8 +116,8 @@ func TestDPMotivatingExample(t *testing.T) {
 	avail := []time.Duration{0, 0, 0}
 	exec := []time.Duration{100 * ms, 100 * ms, 100 * ms}
 
-	dpPlan := d.Schedule(0, queries, avail, exec, powRewarder{})
-	gPlan := g.Schedule(0, queries, avail, exec, powRewarder{})
+	dpPlan := d.Schedule(0, queries, SingleReplica(avail), exec, powRewarder{})
+	gPlan := g.Schedule(0, queries, SingleReplica(avail), exec, powRewarder{})
 	if dpPlan.TotalReward <= gPlan.TotalReward {
 		t.Errorf("DP reward %v should beat greedy %v on the motivating example",
 			dpPlan.TotalReward, gPlan.TotalReward)
@@ -125,7 +125,7 @@ func TestDPMotivatingExample(t *testing.T) {
 	if dpPlan.Subset(1) == ensemble.Empty || dpPlan.Subset(2) == ensemble.Empty {
 		t.Errorf("DP should serve both queries: %v / %v", dpPlan.Subset(1), dpPlan.Subset(2))
 	}
-	checkFeasible(t, dpPlan, 0, queries, avail, exec)
+	checkFeasible(t, dpPlan, 0, queries, SingleReplica(avail), exec)
 }
 
 func TestDPNearOptimalOnRandomInstances(t *testing.T) {
@@ -155,8 +155,8 @@ func TestDPNearOptimalOnRandomInstances(t *testing.T) {
 		}
 		r := rootRewarder{m: m}
 		d := &DP{Delta: epsilon / float64(m*n)}
-		dpPlan := d.Schedule(0, queries, avail, exec, r)
-		opt := exh.Schedule(0, queries, avail, exec, r)
+		dpPlan := d.Schedule(0, queries, SingleReplica(avail), exec, r)
+		opt := exh.Schedule(0, queries, SingleReplica(avail), exec, r)
 		return dpPlan.TotalReward >= (1-epsilon)*opt.TotalReward-1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -184,16 +184,16 @@ func TestDPPlansAlwaysFeasible(t *testing.T) {
 			avail[k] = time.Duration(src.Intn(60)) * ms
 			exec[k] = time.Duration(10+src.Intn(80)) * ms
 		}
-		plan := (&DP{Delta: 0.01}).Schedule(10*ms, queries, avail, exec, powRewarder{})
-		cur := normalizeAvail(10*ms, avail)
-		scratch := make([]time.Duration, m)
+		plan := (&DP{Delta: 0.01}).Schedule(10*ms, queries, SingleReplica(avail), exec, powRewarder{})
+		cur, lay := flatten(10*ms, SingleReplica(avail))
+		scratch := make([]time.Duration, len(cur))
 		for _, qi := range edfOrder(queries) {
 			q := queries[qi]
 			s := plan.Subset(q.ID)
 			if s == ensemble.Empty {
 				continue
 			}
-			done := completion(cur, exec, s, scratch)
+			done := lay.completion(cur, exec, s, scratch)
 			if done > q.Deadline {
 				return false
 			}
@@ -216,14 +216,14 @@ func TestGreedyOrders(t *testing.T) {
 	avail := []time.Duration{0}
 	exec := []time.Duration{70 * ms}
 
-	edf := (&Greedy{Order: EDF}).Schedule(20*ms, queries, avail, exec, powRewarder{})
+	edf := (&Greedy{Order: EDF}).Schedule(20*ms, queries, SingleReplica(avail), exec, powRewarder{})
 	if edf.Subset(2) == ensemble.Empty {
 		t.Error("EDF should serve the urgent query")
 	}
 	if edf.Subset(1) == ensemble.Empty {
 		t.Error("EDF has room for both queries")
 	}
-	fifo := (&Greedy{Order: FIFO}).Schedule(20*ms, queries, avail, exec, powRewarder{})
+	fifo := (&Greedy{Order: FIFO}).Schedule(20*ms, queries, SingleReplica(avail), exec, powRewarder{})
 	if fifo.Subset(1) == ensemble.Empty {
 		t.Error("FIFO should serve the first arrival")
 	}
@@ -244,7 +244,7 @@ func TestGreedySJFOrder(t *testing.T) {
 	}
 	avail := []time.Duration{0}
 	exec := []time.Duration{80 * ms}
-	plan := (&Greedy{Order: SJF}).Schedule(0, queries, avail, exec, powRewarder{})
+	plan := (&Greedy{Order: SJF}).Schedule(0, queries, SingleReplica(avail), exec, powRewarder{})
 	if plan.Subset(2) == ensemble.Empty {
 		t.Error("SJF should serve the easy query first")
 	}
@@ -277,7 +277,7 @@ func TestParetoPruning(t *testing.T) {
 
 func TestEmptyQueryList(t *testing.T) {
 	for _, s := range []Scheduler{&DP{}, &Greedy{Order: EDF}, &Exhaustive{}} {
-		plan := s.Schedule(0, nil, []time.Duration{0}, []time.Duration{10 * ms}, powRewarder{})
+		plan := s.Schedule(0, nil, SingleReplica([]time.Duration{0}), []time.Duration{10 * ms}, powRewarder{})
 		if len(plan.Assignments) != 0 || plan.TotalReward != 0 {
 			t.Errorf("%s: non-empty plan for no queries", s.Name())
 		}
@@ -290,7 +290,7 @@ func TestDPWindowCap(t *testing.T) {
 	for i := range queries {
 		queries[i] = QueryInfo{ID: i + 1, Deadline: 500 * ms, Score: 0.3}
 	}
-	plan := d.Schedule(0, queries, []time.Duration{0, 0}, []time.Duration{50 * ms, 50 * ms}, powRewarder{})
+	plan := d.Schedule(0, queries, SingleReplica([]time.Duration{0, 0}), []time.Duration{50 * ms, 50 * ms}, powRewarder{})
 	assigned := 0
 	for _, s := range plan.Assignments {
 		if s != ensemble.Empty {
@@ -309,7 +309,7 @@ func TestDPBusyModelsDelayStart(t *testing.T) {
 	queries := []QueryInfo{{ID: 1, Deadline: 100 * ms, Score: 0.3}}
 	avail := []time.Duration{90 * ms, 0}
 	exec := []time.Duration{20 * ms, 50 * ms}
-	plan := d.Schedule(0, queries, avail, exec, powRewarder{})
+	plan := d.Schedule(0, queries, SingleReplica(avail), exec, powRewarder{})
 	if got := plan.Subset(1); got != ensemble.Single(1) {
 		t.Errorf("got %v, want {1}", got)
 	}
@@ -338,7 +338,7 @@ func TestExhaustiveGuard(t *testing.T) {
 			t.Error("expected panic over MaxQueries")
 		}
 	}()
-	e.Schedule(0, queries, []time.Duration{0}, []time.Duration{ms}, powRewarder{})
+	e.Schedule(0, queries, SingleReplica([]time.Duration{0}), []time.Duration{ms}, powRewarder{})
 }
 
 func TestVanillaMatchesPaperTradeoff(t *testing.T) {
@@ -352,9 +352,9 @@ func TestVanillaMatchesPaperTradeoff(t *testing.T) {
 	}
 	avail := []time.Duration{0, 0, 0}
 	exec := []time.Duration{50 * ms, 60 * ms, 70 * ms}
-	fine := (&DP{Delta: 0.001, Vanilla: true}).Schedule(0, queries, avail, exec, r)
-	coarse := (&DP{Delta: 0.25, Vanilla: true}).Schedule(0, queries, avail, exec, r)
-	refined := (&DP{Delta: 0.25}).Schedule(0, queries, avail, exec, r)
+	fine := (&DP{Delta: 0.001, Vanilla: true}).Schedule(0, queries, SingleReplica(avail), exec, r)
+	coarse := (&DP{Delta: 0.25, Vanilla: true}).Schedule(0, queries, SingleReplica(avail), exec, r)
+	refined := (&DP{Delta: 0.25}).Schedule(0, queries, SingleReplica(avail), exec, r)
 	if coarse.TotalReward > fine.TotalReward+1e-9 {
 		t.Errorf("coarse vanilla (%v) cannot beat fine vanilla (%v)", coarse.TotalReward, fine.TotalReward)
 	}

@@ -46,9 +46,9 @@ const UnprunedCap = 64
 // Name implements Scheduler.
 func (d *DP) Name() string { return "dp" }
 
-// dpEntry is one Pareto-frontier member: an availability vector, the exact
-// (unquantized) cumulative reward, and the back-pointer chain that
-// reconstructs the plan.
+// dpEntry is one Pareto-frontier member: a flattened replica-slot
+// availability vector (see flatten), the exact (unquantized) cumulative
+// reward, and the back-pointer chain that reconstructs the plan.
 type dpEntry struct {
 	avail  []time.Duration
 	reward float64
@@ -57,7 +57,9 @@ type dpEntry struct {
 	qID    int
 }
 
-// dominates reports whether a is no later than b on every model.
+// dominates reports whether a is no later than b on every replica slot.
+// Slots within a model's segment are kept sorted, so element-wise
+// comparison of the order statistics is a sound dominance test.
 func dominates(a, b []time.Duration) bool {
 	for k := range a {
 		if a[k] > b[k] {
@@ -93,7 +95,7 @@ func quantize(reward, delta float64) int {
 }
 
 // Schedule implements Scheduler.
-func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan {
+func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan {
 	delta := d.Delta
 	if delta <= 0 {
 		delta = 0.01
@@ -110,9 +112,8 @@ func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail []time.Durat
 	if len(order) > window {
 		order = order[:window]
 	}
-	base := normalizeAvail(now, avail)
-	m := len(avail)
-	subsets := ensemble.AllSubsets(m)
+	base, lay := flatten(now, avail)
+	subsets := ensemble.AllSubsets(avail.M())
 
 	// frontier[level] holds the Pareto entries attaining quantized reward
 	// level after the queries processed so far. Levels index a dense
@@ -121,7 +122,7 @@ func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail []time.Durat
 	perQueryLevels := quantize(1, delta) + 1
 	frontier := make([][]*dpEntry, 1, 1+len(order)*perQueryLevels)
 	frontier[0] = []*dpEntry{{avail: base}}
-	scratch := make([]time.Duration, m)
+	scratch := make([]time.Duration, len(base))
 
 	maxFrontier := d.MaxFrontier
 	if maxFrontier == 0 {
@@ -177,7 +178,7 @@ func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail []time.Durat
 				next[level] = insert(next[level], e.avail, e.reward, e, ensemble.Empty, q.ID)
 				// Try every subset that meets the deadline.
 				for _, s := range subsets {
-					done := completion(e.avail, exec, s, scratch)
+					done := lay.completion(e.avail, exec, s, scratch)
 					if done > q.Deadline {
 						continue
 					}

@@ -46,7 +46,7 @@ type Greedy struct {
 func (g *Greedy) Name() string { return "greedy+" + g.Order.String() }
 
 // Schedule implements Scheduler.
-func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan {
+func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan {
 	plan := Plan{Assignments: make(map[int]ensemble.Subset, len(queries))}
 	if len(queries) == 0 {
 		return plan
@@ -75,16 +75,16 @@ func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail []time.D
 		return qa.ID < qb.ID
 	})
 
-	cur := normalizeAvail(now, avail)
-	scratch := make([]time.Duration, len(avail))
-	subsets := ensemble.AllSubsets(len(avail))
+	cur, lay := flatten(now, avail)
+	scratch := make([]time.Duration, len(cur))
+	subsets := ensemble.AllSubsets(avail.M())
 	for _, qi := range idx {
 		q := queries[qi]
 		best := ensemble.Empty
 		bestR := 0.0
 		var bestAvail []time.Duration
 		for _, s := range subsets {
-			done := completion(cur, exec, s, scratch)
+			done := lay.completion(cur, exec, s, scratch)
 			if done > q.Deadline {
 				continue
 			}
@@ -117,7 +117,7 @@ type Exhaustive struct {
 func (e *Exhaustive) Name() string { return "exhaustive" }
 
 // Schedule implements Scheduler.
-func (e *Exhaustive) Schedule(now time.Duration, queries []QueryInfo, avail []time.Duration, exec []time.Duration, r Rewarder) Plan {
+func (e *Exhaustive) Schedule(now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan {
 	limit := e.MaxQueries
 	if limit <= 0 {
 		limit = 8
@@ -126,14 +126,13 @@ func (e *Exhaustive) Schedule(now time.Duration, queries []QueryInfo, avail []ti
 		panic("core: Exhaustive over too many queries")
 	}
 	order := edfOrder(queries)
-	base := normalizeAvail(now, avail)
-	m := len(avail)
-	options := append([]ensemble.Subset{ensemble.Empty}, ensemble.AllSubsets(m)...)
+	base, lay := flatten(now, avail)
+	options := append([]ensemble.Subset{ensemble.Empty}, ensemble.AllSubsets(avail.M())...)
 
 	best := Plan{Assignments: map[int]ensemble.Subset{}}
 	bestReward := -1.0
 	assign := make([]ensemble.Subset, len(order))
-	scratch := make([]time.Duration, m)
+	scratch := make([]time.Duration, len(base))
 
 	var recurse func(i int, cur []time.Duration, reward float64)
 	recurse = func(i int, cur []time.Duration, reward float64) {
@@ -155,11 +154,11 @@ func (e *Exhaustive) Schedule(now time.Duration, queries []QueryInfo, avail []ti
 				recurse(i+1, cur, reward)
 				continue
 			}
-			done := completion(cur, exec, s, scratch)
+			done := lay.completion(cur, exec, s, scratch)
 			if done > q.Deadline {
 				continue
 			}
-			na := make([]time.Duration, m)
+			na := make([]time.Duration, len(base))
 			copy(na, scratch)
 			assign[i] = s
 			recurse(i+1, na, reward+r.Reward(q.Score, s))

@@ -89,15 +89,25 @@ type Stats struct {
 // RuntimeStats mirrors serve.Stats for the JSON API: lifecycle counters
 // plus instantaneous backlog gauges and per-model fault health.
 type RuntimeStats struct {
-	Submitted  uint64        `json:"submitted"`
-	Served     uint64        `json:"served"`
-	Degraded   uint64        `json:"degraded"`
-	Missed     uint64        `json:"missed"`
-	Rejected   uint64        `json:"rejected"`
-	Resolved   uint64        `json:"resolved"`
-	Buffered   int           `json:"buffered"`
-	InFlight   int           `json:"in_flight"`
-	QueueDepth []int         `json:"queue_depth"`
+	Submitted  uint64 `json:"submitted"`
+	Served     uint64 `json:"served"`
+	Degraded   uint64 `json:"degraded"`
+	Missed     uint64 `json:"missed"`
+	Rejected   uint64 `json:"rejected"`
+	Resolved   uint64 `json:"resolved"`
+	Buffered   int    `json:"buffered"`
+	InFlight   int    `json:"in_flight"`
+	QueueDepth []int  `json:"queue_depth"`
+	// Replicas[k] is model k's replica-pool size; Forming[k] counts tasks
+	// pulled off model k's queue into a forming or executing batch (so
+	// QueueDepth[k]+Forming[k] covers every outstanding task exactly
+	// once); ReplicaBusy[k][r] is the batch size replica r is executing.
+	Replicas    []int   `json:"replicas"`
+	Forming     []int   `json:"forming"`
+	ReplicaBusy [][]int `json:"replica_busy"`
+	// BatchSizes[k][b-1] counts executed batches of size b; omitted when
+	// batching is disabled.
+	BatchSizes [][]uint64    `json:"batch_sizes,omitempty"`
 	Models     []ModelHealth `json:"models"`
 	Draining   bool          `json:"draining"`
 }
@@ -119,6 +129,10 @@ type ModelHealth struct {
 	Retries    uint64 `json:"retries,omitempty"`
 	Hedges     uint64 `json:"hedges,omitempty"`
 	HedgeWins  uint64 `json:"hedge_wins,omitempty"`
+	// ReplicaExecuted/ReplicaFailures break Executed and Failures down by
+	// replica within the model's pool.
+	ReplicaExecuted []uint64 `json:"replica_executed,omitempty"`
+	ReplicaFailures []uint64 `json:"replica_failures,omitempty"`
 }
 
 // HealthResponse is the /v1/health report: "ok" when every model is
@@ -320,17 +334,21 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 	}
 	rt := h.srv.Stats()
 	out.Runtime = RuntimeStats{
-		Submitted:  rt.Submitted,
-		Served:     rt.Served,
-		Degraded:   rt.Degraded,
-		Missed:     rt.Missed,
-		Rejected:   rt.Rejected,
-		Resolved:   rt.Resolved,
-		Buffered:   rt.Buffered,
-		InFlight:   rt.InFlight,
-		QueueDepth: rt.QueueDepth,
-		Models:     modelHealth(rt),
-		Draining:   rt.Draining,
+		Submitted:   rt.Submitted,
+		Served:      rt.Served,
+		Degraded:    rt.Degraded,
+		Missed:      rt.Missed,
+		Rejected:    rt.Rejected,
+		Resolved:    rt.Resolved,
+		Buffered:    rt.Buffered,
+		InFlight:    rt.InFlight,
+		QueueDepth:  rt.QueueDepth,
+		Replicas:    rt.Replicas,
+		Forming:     rt.Forming,
+		ReplicaBusy: rt.ReplicaBusy,
+		BatchSizes:  rt.BatchSizes,
+		Models:      modelHealth(rt),
+		Draining:    rt.Draining,
 	}
 	writeJSON(w, out)
 }
@@ -355,6 +373,12 @@ func modelHealth(rt serve.Stats) []ModelHealth {
 			Retries:    m.Retries,
 			Hedges:     m.Hedges,
 			HedgeWins:  m.HedgeWins,
+		}
+		if len(m.ReplicaExecuted) > 1 {
+			// Single-replica pools collapse to the model-level counters;
+			// only real pools carry the per-replica breakdown.
+			out[k].ReplicaExecuted = m.ReplicaExecuted
+			out[k].ReplicaFailures = m.ReplicaFailures
 		}
 	}
 	return out

@@ -19,7 +19,7 @@ var (
 	art     *pipeline.Artifacts
 )
 
-func artifacts(t *testing.T) *pipeline.Artifacts {
+func artifacts(t testing.TB) *pipeline.Artifacts {
 	t.Helper()
 	artOnce.Do(func() {
 		ds := dataset.TextMatching(dataset.Config{N: 900, Seed: 88})

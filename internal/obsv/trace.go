@@ -58,8 +58,13 @@ type DecisionTrace struct {
 	Subset       []int         // chosen subset (model indices)
 	Alternatives []Alternative // top candidate subsets by profiled reward
 	QueueDepths  []int         // per-model task-queue occupancy
-	BusyUntil    []time.Duration
-	Blocked      []int // models masked by open breakers / crash windows
+	// Forming counts tasks per model that replicas had pulled into forming
+	// batches at commit time (they have left the queue but not finished).
+	Forming []int
+	// BusyUntil is each model's earliest replica availability — the
+	// capacity signal the scheduler's feasibility checks keyed on.
+	BusyUntil []time.Duration
+	Blocked   []int // models masked by open breakers / crash windows
 
 	// Mitigation events observed while in flight.
 	Retries  int
@@ -89,6 +94,7 @@ type traceJSON struct {
 	Subset       []int         `json:"subset,omitempty"`
 	Alternatives []Alternative `json:"alternatives,omitempty"`
 	QueueDepths  []int         `json:"queue_depths,omitempty"`
+	Forming      []int         `json:"forming,omitempty"`
 	BusyUntilUS  []int64       `json:"busy_until_us,omitempty"`
 	Blocked      []int         `json:"blocked,omitempty"`
 	Retries      int           `json:"retries,omitempty"`
@@ -114,6 +120,7 @@ func (t DecisionTrace) MarshalJSON() ([]byte, error) {
 		Subset:       t.Subset,
 		Alternatives: t.Alternatives,
 		QueueDepths:  t.QueueDepths,
+		Forming:      t.Forming,
 		Blocked:      t.Blocked,
 		Retries:      t.Retries,
 		Hedges:       t.Hedges,
@@ -150,6 +157,7 @@ func (t *DecisionTrace) UnmarshalJSON(data []byte) error {
 		Subset:       w.Subset,
 		Alternatives: w.Alternatives,
 		QueueDepths:  w.QueueDepths,
+		Forming:      w.Forming,
 		Blocked:      w.Blocked,
 		Retries:      w.Retries,
 		Hedges:       w.Hedges,

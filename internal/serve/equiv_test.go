@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/sim"
+	"schemble/internal/trace"
+)
+
+// TestSimServeEquivalence cross-validates the two execution engines: the
+// discrete-event simulator and the live concurrent runtime, given the
+// same fitted pipeline, the same seeded trace, single replicas, no
+// batching, and no faults, must commit every query to the same model
+// subset and produce the same outcome (served vs missed) per query. The
+// trace spaces arrivals so each query is planned against an idle fleet —
+// the regime where a scheduling decision depends only on (score,
+// deadline, exec), not on wall-clock jitter — and mixes deadline budgets
+// that exercise full-ensemble, single-model, and infeasible plans. Budgets
+// sit far from subset-feasibility boundaries (22/88/99ms at 10% headroom)
+// so the runtime's microsecond-scale planning delays cannot flip a
+// decision the simulator made at exact virtual instants.
+func TestSimServeEquivalence(t *testing.T) {
+	a := artifacts(t)
+	const spacing = 400 * time.Millisecond
+	budgets := []time.Duration{
+		300 * time.Millisecond, 60 * time.Millisecond, 300 * time.Millisecond, 10 * time.Millisecond, 300 * time.Millisecond, 60 * time.Millisecond,
+		300 * time.Millisecond, 300 * time.Millisecond, 10 * time.Millisecond, 60 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond,
+	}
+	tr := &trace.Trace{}
+	for i, b := range budgets {
+		at := time.Duration(i) * spacing
+		tr.Arrivals = append(tr.Arrivals, trace.Arrival{
+			SampleIdx: i, At: at, Deadline: at + b,
+		})
+	}
+
+	recs := sim.Run(sim.Config{
+		Ensemble:  a.Ensemble,
+		Refs:      a.Refs,
+		Scorer:    a.Scorer,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		Seed:      1,
+	}, tr, a.Serve)
+
+	const scale = 0.2
+	s := New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: scale,
+		Seed:      1,
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+	chans := make([]<-chan Result, len(budgets))
+	for i, b := range budgets {
+		chans[i] = s.Submit(a.Serve[i], b)
+		//schemble:sleep-ok trace pacing: the equivalence contract requires each arrival to meet an idle fleet, exactly as in the simulated trace
+		time.Sleep(time.Duration(float64(spacing) * scale))
+	}
+
+	simMissed, serveMissed := 0, 0
+	for i := range budgets {
+		var res Result
+		select {
+		case res = <-chans[i]:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("query %d never resolved in the runtime", i)
+		}
+		rec := recs[i]
+		if res.Subset != rec.Subset {
+			t.Errorf("query %d (budget %v): runtime subset %v, simulator subset %v",
+				i, budgets[i], res.Subset.Models(), rec.Subset.Models())
+		}
+		if res.Missed != rec.Missed {
+			t.Errorf("query %d (budget %v): runtime missed=%v, simulator missed=%v",
+				i, budgets[i], res.Missed, rec.Missed)
+		}
+		if rec.Missed {
+			simMissed++
+		}
+		if res.Missed {
+			serveMissed++
+		}
+	}
+	// The trace is calibrated so the 10ms budgets (and only those) are
+	// infeasible; if either engine misses anything else, the fixture has
+	// drifted and the comparison above lost its meaning.
+	if want := 2; simMissed != want || serveMissed != want {
+		t.Errorf("missed counts: sim=%d serve=%d, want %d each (the infeasible budgets)",
+			simMissed, serveMissed, want)
+	}
+	st := s.Stats()
+	if st.Degraded != 0 || st.Rejected != 0 {
+		t.Errorf("faultless equivalence run produced degraded=%d rejected=%d",
+			st.Degraded, st.Rejected)
+	}
+}

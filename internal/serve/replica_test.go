@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/dataset"
+	"schemble/internal/ensemble"
+	"schemble/internal/model"
+	"schemble/internal/testutil"
+)
+
+// bottleneckRewarder models a profile where acceptable accuracy requires
+// the heavyweight model: subsets without it earn nothing, so every served
+// request must cross the slow model and throughput is capped by that
+// model's replica capacity. This isolates the replica-pool effect the
+// scaling test measures.
+type bottleneckRewarder struct{ slow int }
+
+func (b bottleneckRewarder) Reward(score float64, s ensemble.Subset) float64 {
+	if !s.Contains(b.slow) {
+		return 0
+	}
+	return 0.5 + 0.5*float64(s.Size())/3
+}
+
+// slowEnsemble is a three-model fleet whose third member dominates the
+// latency budget — the shape where one slow model caps throughput until
+// it gets replicas.
+func slowEnsemble(seed uint64) *ensemble.Ensemble {
+	models := []model.Model{
+		model.NewSynthetic(model.SyntheticConfig{
+			Name: "fast-a", Task: dataset.Classification, Classes: 2,
+			Skill: 0.7, Latency: 20 * time.Millisecond, Jitter: 0.02, Seed: seed + 1,
+		}),
+		model.NewSynthetic(model.SyntheticConfig{
+			Name: "fast-b", Task: dataset.Classification, Classes: 2,
+			Skill: 0.75, Latency: 30 * time.Millisecond, Jitter: 0.02, Seed: seed + 2,
+		}),
+		model.NewSynthetic(model.SyntheticConfig{
+			Name: "slow", Task: dataset.Classification, Classes: 2,
+			Skill: 0.9, Latency: 200 * time.Millisecond, Jitter: 0.02, Seed: seed + 3,
+		}),
+	}
+	return ensemble.New(dataset.Classification, models, &ensemble.Average{}, nil)
+}
+
+func poolSamples(n int) []*dataset.Sample {
+	out := make([]*dataset.Sample, n)
+	for i := range out {
+		out[i] = &dataset.Sample{ID: i, Features: []float64{float64(i)}, Difficulty: 0.3}
+	}
+	return out
+}
+
+// TestServeReplicasSingleBitIdentical pins the compatibility guarantee of
+// the replica-pool refactor: a server configured with an explicit
+// one-replica pool per model and batching disabled must produce Results
+// bit-identical to the zero-config server, request for request — the
+// replica machinery may not perturb scheduling, RNG draws, or outputs.
+func TestServeReplicasSingleBitIdentical(t *testing.T) {
+	a := artifacts(t)
+	plain := newServer(t, a)
+	pooled := New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: 0.1,
+		Seed:      1,
+		Replicas:  []int{1, 1, 1},
+		Batching:  BatchConfig{}, // explicitly off
+	})
+	plain.Start(context.Background())
+	defer plain.Stop()
+	pooled.Start(context.Background())
+	defer pooled.Stop()
+
+	const n = 25
+	for i := 0; i < n; i++ {
+		rp := <-plain.Submit(a.Serve[i], time.Second)
+		rr := <-pooled.Submit(a.Serve[i], time.Second)
+		if rp.Missed || rr.Missed {
+			t.Fatalf("request %d missed: plain=%v pooled=%v", i, rp.Missed, rr.Missed)
+		}
+		if rp.Subset != rr.Subset {
+			t.Fatalf("request %d subset diverged: %v vs %v",
+				i, rp.Subset.Models(), rr.Subset.Models())
+		}
+		if !reflect.DeepEqual(rp.Output, rr.Output) {
+			t.Fatalf("request %d output not bit-identical under single-replica pools", i)
+		}
+		if rp.Degraded != rr.Degraded || rp.Rejected != rr.Rejected {
+			t.Fatalf("request %d outcome flags diverged", i)
+		}
+	}
+	st := pooled.Stats()
+	for k, r := range st.Replicas {
+		if r != 1 {
+			t.Errorf("model %d replica count = %d, want 1", k, r)
+		}
+	}
+	if st.BatchSizes != nil {
+		t.Error("batch histogram allocated with batching disabled")
+	}
+}
+
+// runBottleneckLoad drives one saturating workload against a server whose
+// throughput is capped by the slow model and reports (served, missed,
+// rejected, virtual elapsed).
+func runBottleneckLoad(t *testing.T, replicas []int) (served, missed, rejected uint64, elapsed time.Duration) {
+	t.Helper()
+	const scale = 0.05
+	s := New(Config{
+		Ensemble:  slowEnsemble(11),
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  bottleneckRewarder{slow: 2},
+		TimeScale: scale,
+		Seed:      3,
+		Replicas:  replicas,
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+
+	samples := poolSamples(60)
+	start := time.Now()
+	chans := make([]<-chan Result, len(samples))
+	for i, smp := range samples {
+		chans[i] = s.Submit(smp, 500*time.Millisecond)
+		// Arrival pacing at ~3x the single-replica service rate of the slow
+		// model (200ms virtual -> 10ms wall at 0.05; one arrival every
+		// ~3.3ms wall = 66ms virtual), so a lone slow replica saturates
+		// while four keep up.
+		//schemble:sleep-ok arrival pacing: the offered load must exceed single-replica capacity for the scaling measurement to mean anything
+		time.Sleep(3300 * time.Microsecond)
+	}
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %d never resolved", i)
+		}
+	}
+	elapsed = time.Duration(float64(time.Since(start)) / scale)
+	st := s.Stats()
+	return st.Served + st.Degraded, st.Missed, st.Rejected, elapsed
+}
+
+// TestServeReplicaPoolThroughput is the scaling acceptance test: giving
+// the slowest model four replicas must at least double served requests
+// per virtual second on an identical saturating workload, without
+// worsening the deadline-miss rate.
+func TestServeReplicaPoolThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement needs the full workload")
+	}
+	served1, missed1, rej1, elapsed1 := runBottleneckLoad(t, nil)
+	served4, missed4, rej4, elapsed4 := runBottleneckLoad(t, []int{1, 1, 4})
+
+	rate1 := float64(served1) / elapsed1.Seconds()
+	rate4 := float64(served4) / elapsed4.Seconds()
+	t.Logf("R=1: served=%d missed=%d rejected=%d rate=%.2f/vs", served1, missed1, rej1, rate1)
+	t.Logf("R=4: served=%d missed=%d rejected=%d rate=%.2f/vs", served4, missed4, rej4, rate4)
+	if served1 == 0 {
+		t.Fatal("baseline served nothing; workload is miscalibrated")
+	}
+	if rate4 < 2*rate1 {
+		t.Errorf("replica scaling: %.2f served/vs with R=4 vs %.2f with R=1, want >= 2x", rate4, rate1)
+	}
+	dmr := func(missed, served, rejected uint64) float64 {
+		resolved := missed + served
+		if resolved == 0 {
+			return 0
+		}
+		return float64(missed) / float64(resolved)
+	}
+	if d4, d1 := dmr(missed4, served4, rej4), dmr(missed1, served1, rej1); d4 > d1 {
+		t.Errorf("DMR rose with replicas: %.3f (R=4) vs %.3f (R=1)", d4, d1)
+	}
+}
+
+// TestServeBatchingFormsBatches pins the micro-batching path end to end: a
+// burst against a batching pool must execute real multi-task batches
+// (visible in the batch-size histogram), still resolve every request, and
+// leave the queue-depth/forming accounting at exactly zero once quiescent.
+func TestServeBatchingFormsBatches(t *testing.T) {
+	s := New(Config{
+		Ensemble:  slowEnsemble(7),
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  bottleneckRewarder{slow: 2},
+		TimeScale: 0.05,
+		Seed:      5,
+		Replicas:  []int{1, 1, 2},
+		Batching:  BatchConfig{MaxBatch: 4, MaxLinger: 40 * time.Millisecond},
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+
+	samples := poolSamples(40)
+	chans := make([]<-chan Result, len(samples))
+	for i, smp := range samples {
+		chans[i] = s.Submit(smp, 2*time.Second)
+	}
+	served := 0
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if !r.Missed {
+				served++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("request %d never resolved", i)
+		}
+	}
+	if served == 0 {
+		t.Fatal("batching burst served nothing")
+	}
+	st := s.Stats()
+	if st.BatchSizes == nil {
+		t.Fatal("batching enabled but no batch histogram")
+	}
+	multi := uint64(0)
+	for _, sizes := range st.BatchSizes {
+		for b, c := range sizes {
+			if b >= 1 { // index b counts batches of size b+1
+				multi += c
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("burst of 40 executed no batch larger than one task")
+	}
+	// Quiescent accounting: every pulled task was reported back, nothing
+	// double-counted or stranded.
+	testutil.Poll(t, 5*time.Second, "queues and forming gauges drain to zero", func() bool {
+		st := s.Stats()
+		for k := range st.QueueDepth {
+			if st.QueueDepth[k] != 0 || st.Forming[k] != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestServeDrainWaitsForFormingBatch is the drain/batch regression test:
+// requests whose tasks sit inside a forming (lingering) batch are still
+// committed in-flight work, so Drain must wait for the batch to execute
+// and the requests to serve — not cut them off mid-linger.
+func TestServeDrainWaitsForFormingBatch(t *testing.T) {
+	s := New(Config{
+		Ensemble:  slowEnsemble(9),
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  bottleneckRewarder{slow: 2},
+		TimeScale: 0.1,
+		Seed:      8,
+		Replicas:  []int{1, 1, 1},
+		// A long linger window relative to model latencies: the drain
+		// overlaps the forming batch with high probability.
+		Batching: BatchConfig{MaxBatch: 8, MaxLinger: 300 * time.Millisecond},
+	})
+	s.Start(context.Background())
+
+	const n = 6
+	chans := make([]<-chan Result, n)
+	for i, smp := range poolSamples(n) {
+		chans[i] = s.Submit(smp, 6*time.Second)
+	}
+	// Wait until every request is either committed (in-flight) or already
+	// resolved — drain only promises to finish *committed* work, so the
+	// test must not race the coordinator's buffer. With the long linger the
+	// last commits sit in a forming batch when Drain lands.
+	testutil.Poll(t, 5*time.Second, "all requests committed", func() bool {
+		st := s.Stats()
+		return st.Buffered == 0 && st.InFlight > 0 &&
+			st.Resolved+uint64(st.InFlight) == uint64(n)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Missed {
+				t.Errorf("request %d missed: drain abandoned a committed batch", i)
+			}
+		default:
+			t.Fatalf("request %d unresolved after Drain returned", i)
+		}
+	}
+	st := s.Stats()
+	for k := range st.QueueDepth {
+		if st.QueueDepth[k] != 0 || st.Forming[k] != 0 {
+			t.Errorf("model %d accounting dirty after drain: depth=%d forming=%d",
+				k, st.QueueDepth[k], st.Forming[k])
+		}
+	}
+}
+
+// TestServeStopMidLingerReleasesFormingGauge pins the forming-gauge leak
+// fix: a worker killed while its batch lingers (or executes) must release
+// every forming count it holds, so Stats never reports ghost tasks after
+// shutdown.
+func TestServeStopMidLingerReleasesFormingGauge(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(Config{
+		Ensemble:  slowEnsemble(13),
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  bottleneckRewarder{slow: 2},
+		TimeScale: 0.1,
+		Seed:      2,
+		Batching:  BatchConfig{MaxBatch: 8, MaxLinger: 5 * time.Second},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+
+	ch := s.Submit(poolSamples(1)[0], 10*time.Second)
+	// The single task is pulled into a batch that lingers far beyond the
+	// test horizon waiting for companions.
+	testutil.Poll(t, 5*time.Second, "task pulled into a forming batch", func() bool {
+		st := s.Stats()
+		for k := range st.Forming {
+			if st.Forming[k] > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	cancel()
+	s.Stop()
+	<-ch
+	st := s.Stats()
+	for k := range st.Forming {
+		if st.Forming[k] != 0 {
+			t.Errorf("model %d forming gauge stuck at %d after Stop", k, st.Forming[k])
+		}
+	}
+	testutil.Wait(5*time.Second, func() bool { return runtime.NumGoroutine() <= baseline })
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutine leak: %d running, baseline %d", g, baseline)
+	}
+}

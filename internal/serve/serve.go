@@ -1,10 +1,17 @@
 // Package serve is the real-time concurrent counterpart of the discrete
-// event simulator: one worker goroutine per deployed base model, a
-// coordinator goroutine that owns the query buffer and runs the scheduler,
-// and channel-based task dispatch. Model execution is simulated by
-// sleeping for the model's (scaled) latency, so examples can replay a
-// trace in compressed wall-clock time while exercising the same scheduling
-// logic the paper deploys.
+// event simulator: a pool of replica worker goroutines per deployed base
+// model (Config.Replicas; one each by default) sharing that model's task
+// queue, a coordinator goroutine that owns the query buffer and runs the
+// scheduler against per-replica capacity (core.Capacity), and
+// channel-based task dispatch. Replicas can additionally micro-batch
+// queued tasks (Config.Batching): a replica drains its queue up to
+// MaxBatch tasks — lingering briefly for stragglers — and executes the
+// batch as one unit whose duration follows the model's batch latency
+// curve. Model execution is simulated by sleeping for the model's
+// (scaled) latency, so examples can replay a trace in compressed
+// wall-clock time while exercising the same scheduling logic the paper
+// deploys. With every replica count at 1 and batching off, the runtime is
+// bit-identical to the original single-worker design.
 //
 // Lifecycle: New -> Start(ctx) -> Submit()... -> Drain/Stop. Every request
 // moves through an explicit state machine
@@ -71,7 +78,17 @@ type Config struct {
 	// model's queue is full at dispatch time the request is rejected; when
 	// the event loop is full Submit rejects up front.
 	QueueDepth int
-	Seed       uint64
+	// Replicas[k] is how many worker goroutines serve model k from its
+	// shared task queue (the model's replica pool). Missing or
+	// non-positive entries mean one replica. The scheduler sees every
+	// replica's availability (core.Capacity), so adding replicas widens
+	// the set of deadline-feasible plans instead of merely draining the
+	// queue faster.
+	Replicas []int
+	// Batching opts the replica pools into adaptive micro-batching; the
+	// zero value disables it. See BatchConfig.
+	Batching BatchConfig
+	Seed     uint64
 
 	// Faults injects deterministic failures into every model's task
 	// execution (zero value: no injection). Durations are virtual, like
@@ -185,6 +202,16 @@ type modelCounters struct {
 	hedgeWins  atomic.Uint64 // hedge attempts that finished first
 }
 
+// replicaCounters are one replica's health counters. busy is the batch
+// size the replica is currently executing (0 = idle, 1 = a single task);
+// executed/failures break the model's totals down per replica so the
+// tolerance layer's effects are attributable to individual replicas.
+type replicaCounters struct {
+	busy     atomic.Int32
+	executed atomic.Uint64
+	failures atomic.Uint64
+}
+
 // Server is a running ensemble-serving instance.
 type Server struct {
 	cfg    Config
@@ -194,9 +221,23 @@ type Server struct {
 	events chan event
 	wg     sync.WaitGroup
 
+	// replicas[k] is model k's resolved replica-pool size (>= 1);
+	// maxBatch is the resolved micro-batch cap (1 = batching off).
+	replicas []int
+	maxBatch int
+
 	// faulty[k] is model k's fault injector (nil when injection is off).
 	faulty []*model.Faulty
 	mstats []modelCounters
+	// rstats[k][r] is replica r of model k's counters; forming[k] counts
+	// tasks pulled off model k's queue into a forming or executing batch
+	// whose completion event has not been sent yet (queue-depth gauges
+	// exclude them, so QueueDepth[k]+Forming[k] counts every outstanding
+	// task exactly once); batchHist[k][b-1] counts executed batches of
+	// size b (nil when batching is off).
+	rstats    [][]replicaCounters
+	forming   []atomic.Int64
+	batchHist [][]atomic.Uint64
 
 	// breakerMu guards the per-model circuit breakers, which the
 	// coordinator mutates and Stats snapshots.
@@ -281,6 +322,11 @@ type ModelHealth struct {
 	Retries   uint64
 	Hedges    uint64
 	HedgeWins uint64
+	// ReplicaExecuted[r] / ReplicaFailures[r] break Executed and Failures
+	// down by replica, so a single sick replica is visible inside an
+	// otherwise healthy pool.
+	ReplicaExecuted []uint64
+	ReplicaFailures []uint64
 }
 
 // Stats is a point-in-time health snapshot of the runtime.
@@ -293,8 +339,21 @@ type Stats struct {
 	Resolved  uint64 // Served + Degraded + Missed + Rejected
 	Buffered  int    // awaiting scheduling in the coordinator's buffer
 	InFlight  int    // committed, not all tasks finished
-	// QueueDepth[k] is model k's task-channel occupancy.
+	// QueueDepth[k] is model k's task-channel occupancy. Tasks a replica
+	// has pulled into a forming batch are counted in Forming, never here.
 	QueueDepth []int
+	// Replicas[k] is model k's replica-pool size.
+	Replicas []int
+	// Forming[k] counts tasks pulled off model k's queue into a forming
+	// or executing batch whose completion has not been reported yet;
+	// QueueDepth[k]+Forming[k] counts each outstanding task exactly once.
+	Forming []int
+	// ReplicaBusy[k][r] is the batch size replica r of model k is
+	// executing right now (0 = idle).
+	ReplicaBusy [][]int
+	// BatchSizes[k][b-1] counts batches of size b executed by model k's
+	// replicas; nil when batching is disabled.
+	BatchSizes [][]uint64
 	// Models[k] is model k's fault/mitigation health.
 	Models   []ModelHealth
 	Draining bool
@@ -323,15 +382,40 @@ func New(cfg Config) *Server {
 		cfg.QueueDepth = 1024
 	}
 	m := len(cfg.Ensemble.Models)
+	maxBatch := 1
+	if cfg.Batching.enabled() {
+		maxBatch = cfg.Batching.MaxBatch
+		if maxBatch > maxBatchCap {
+			maxBatch = maxBatchCap
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		tol:      cfg.Tolerance.withDefaults(),
 		scale:    cfg.TimeScale,
+		maxBatch: maxBatch,
 		events:   make(chan event, 4*cfg.QueueDepth),
 		src:      rng.New(cfg.Seed ^ 0x5e7e),
 		obs:      obsv.NewObserver(cfg.Obs),
 		mstats:   make([]modelCounters, m),
 		breakers: make([]breakerState, m),
+		replicas: make([]int, m),
+		rstats:   make([][]replicaCounters, m),
+		forming:  make([]atomic.Int64, m),
+	}
+	for k := range s.replicas {
+		r := 1
+		if k < len(cfg.Replicas) && cfg.Replicas[k] > 1 {
+			r = cfg.Replicas[k]
+		}
+		s.replicas[k] = r
+		s.rstats[k] = make([]replicaCounters, r)
+	}
+	if maxBatch > 1 {
+		s.batchHist = make([][]atomic.Uint64, m)
+		for k := range s.batchHist {
+			s.batchHist[k] = make([]atomic.Uint64, maxBatch)
+		}
 	}
 	for range cfg.Ensemble.Models {
 		s.taskCh = append(s.taskCh, make(chan *task, cfg.QueueDepth))
@@ -374,12 +458,14 @@ func (s *Server) Start(ctx context.Context) {
 	s.start = time.Now()
 	s.lifeMu.Unlock()
 	for k := range s.taskCh {
-		k := k
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.worker(ctx, k)
-		}()
+		for r := 0; r < s.replicas[k]; r++ {
+			k, r := k, r
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.worker(ctx, k, r)
+			}()
+		}
 	}
 	s.wg.Add(1)
 	go func() {
@@ -448,20 +534,39 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.lifeMu.Unlock()
 	st := Stats{
-		Submitted:  s.nSubmitted.Load(),
-		Served:     s.nServed.Load(),
-		Degraded:   s.nDegraded.Load(),
-		Missed:     s.nMissed.Load(),
-		Rejected:   s.nRejected.Load(),
-		Buffered:   int(s.nBuffered.Load()),
-		InFlight:   int(s.nInflight.Load()),
-		QueueDepth: make([]int, len(s.taskCh)),
-		Models:     make([]ModelHealth, len(s.taskCh)),
-		Draining:   draining,
+		Submitted:   s.nSubmitted.Load(),
+		Served:      s.nServed.Load(),
+		Degraded:    s.nDegraded.Load(),
+		Missed:      s.nMissed.Load(),
+		Rejected:    s.nRejected.Load(),
+		Buffered:    int(s.nBuffered.Load()),
+		InFlight:    int(s.nInflight.Load()),
+		QueueDepth:  make([]int, len(s.taskCh)),
+		Replicas:    append([]int(nil), s.replicas...),
+		Forming:     make([]int, len(s.taskCh)),
+		ReplicaBusy: make([][]int, len(s.taskCh)),
+		Models:      make([]ModelHealth, len(s.taskCh)),
+		Draining:    draining,
 	}
 	st.Resolved = st.Served + st.Degraded + st.Missed + st.Rejected
 	for k, ch := range s.taskCh {
 		st.QueueDepth[k] = len(ch)
+		st.Forming[k] = int(s.forming[k].Load())
+		busy := make([]int, s.replicas[k])
+		for r := range busy {
+			busy[r] = int(s.rstats[k][r].busy.Load())
+		}
+		st.ReplicaBusy[k] = busy
+	}
+	if s.batchHist != nil {
+		st.BatchSizes = make([][]uint64, len(s.taskCh))
+		for k := range s.batchHist {
+			sizes := make([]uint64, s.maxBatch)
+			for b := range sizes {
+				sizes[b] = s.batchHist[k][b].Load()
+			}
+			st.BatchSizes[k] = sizes
+		}
 	}
 	//schemble:wallclock health snapshot: crash-recovery windows are wall-clock scheduled by the fault injector
 	wallNow := time.Now()
@@ -481,6 +586,12 @@ func (s *Server) Stats() Stats {
 			Retries:    c.retries.Load(),
 			Hedges:     c.hedges.Load(),
 			HedgeWins:  c.hedgeWins.Load(),
+		}
+		mh.ReplicaExecuted = make([]uint64, s.replicas[k])
+		mh.ReplicaFailures = make([]uint64, s.replicas[k])
+		for r := range mh.ReplicaExecuted {
+			mh.ReplicaExecuted[r] = s.rstats[k][r].executed.Load()
+			mh.ReplicaFailures[r] = s.rstats[k][r].failures.Load()
 		}
 		if s.tol.BreakerThreshold > 0 {
 			b := s.breakers[k]
@@ -603,13 +714,15 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 	return req.done
 }
 
-// worker executes tasks for model k serially and reports completion. Tasks
-// whose request already resolved (rejected, direct-deadline, degraded, or
-// shutdown) are skipped but still reported, so the coordinator's backlog
-// accounting stays truthful. A task whose attempt chain fails permanently
-// is reported as failed rather than killing the worker, so one bad replica
-// or panicking input can never strand a model's task queue.
-func (s *Server) worker(ctx context.Context, k int) {
+// worker is replica r of model k: it pulls tasks off the model's shared
+// queue and executes them serially — one at a time, or as micro-batches
+// when batching is enabled. Tasks whose request already resolved
+// (rejected, direct-deadline, degraded, or shutdown) are skipped but
+// still reported, so the coordinator's backlog accounting stays truthful.
+// A task whose attempt chain fails permanently is reported as failed
+// rather than killing the worker, so one bad input or fault window can
+// never strand the replica.
+func (s *Server) worker(ctx context.Context, k, r int) {
 	m := s.cfg.Ensemble.Models[k]
 	var inj *model.Faulty
 	if s.faulty != nil {
@@ -620,38 +733,61 @@ func (s *Server) worker(ctx context.Context, k int) {
 		case <-ctx.Done():
 			return
 		case t := <-s.taskCh[k]:
-			var done, ran, failed bool
-			if !t.req.isResolved() {
-				ran = true
-				out, ok, alive := s.execute(ctx, m, inj, k, t.req)
-				if !alive {
+			if s.maxBatch > 1 {
+				if !s.runBatch(ctx, m, inj, k, r, s.formBatch(ctx, k, t)) {
 					return
 				}
-				s.mstats[k].executed.Add(1)
-				if !ok {
-					s.mstats[k].failures.Add(1)
-					failed = true
-				}
-				t.req.mu.Lock()
-				if t.req.state != stateResolved {
-					t.req.remaining--
-					if ok {
-						t.req.outs[k] = out
-						t.req.ok = t.req.ok.With(k)
-					} else {
-						t.req.failed++
-					}
-					done = t.req.remaining == 0
-				}
-				t.req.mu.Unlock()
+				continue
 			}
-			select {
-			case s.events <- event{kind: evTaskDone, req: t.req, k: k, done: done, ran: ran, failed: failed}:
-			case <-ctx.Done():
+			if !s.runTask(ctx, m, inj, k, r, t) {
 				return
 			}
 		}
 	}
+}
+
+// runTask executes one unbatched task on replica r of model k and reports
+// its completion event. Returns false when the runtime context was
+// cancelled and the worker must exit.
+func (s *Server) runTask(ctx context.Context, m model.Model, inj *model.Faulty, k, r int, t *task) bool {
+	s.forming[k].Add(1)
+	defer s.forming[k].Add(-1)
+	var done, ran, failed bool
+	if !t.req.isResolved() {
+		ran = true
+		rc := &s.rstats[k][r]
+		rc.busy.Store(1)
+		out, ok, alive := s.execute(ctx, m, inj, k, t.req)
+		rc.busy.Store(0)
+		if !alive {
+			return false
+		}
+		s.mstats[k].executed.Add(1)
+		rc.executed.Add(1)
+		if !ok {
+			s.mstats[k].failures.Add(1)
+			rc.failures.Add(1)
+			failed = true
+		}
+		t.req.mu.Lock()
+		if t.req.state != stateResolved {
+			t.req.remaining--
+			if ok {
+				t.req.outs[k] = out
+				t.req.ok = t.req.ok.With(k)
+			} else {
+				t.req.failed++
+			}
+			done = t.req.remaining == 0
+		}
+		t.req.mu.Unlock()
+	}
+	select {
+	case s.events <- event{kind: evTaskDone, req: t.req, k: k, done: done, ran: ran, failed: failed}:
+	case <-ctx.Done():
+		return false
+	}
+	return true
 }
 
 // execute runs one task's attempt chain for model k: draw the injected
@@ -784,6 +920,12 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 // jittered exponential backoff first. alive is false when the runtime
 // context was cancelled during the sleep.
 func (s *Server) backoff(ctx context.Context, r *request, attempt int) (retry, alive bool) {
+	return s.backoffUntil(ctx, r.deadline, attempt)
+}
+
+// backoffUntil is backoff against an explicit deadline — for batches, the
+// latest live deadline in the batch.
+func (s *Server) backoffUntil(ctx context.Context, deadline time.Time, attempt int) (retry, alive bool) {
 	if attempt >= s.tol.MaxRetries {
 		return false, true
 	}
@@ -793,7 +935,7 @@ func (s *Server) backoff(ctx context.Context, r *request, attempt int) (retry, a
 	s.srcMu.Unlock()
 	d := time.Duration(float64(base<<uint(attempt)+jit) * s.scale)
 	//schemble:wallclock retry budget check: backoff is only worth paying if it still fits before the wall-clock deadline
-	if s.tol.TaskTimeout && time.Now().Add(d).After(r.deadline) {
+	if s.tol.TaskTimeout && time.Now().Add(d).After(deadline) {
 		// No budget left to retry inside the deadline.
 		return false, true
 	}
@@ -827,14 +969,24 @@ func (s *Server) coordinate(ctx context.Context) {
 	exec := make([]time.Duration, m)
 	for k, md := range s.cfg.Ensemble.Models {
 		// Plan with 10% headroom so latency jitter does not turn
-		// feasible-looking plans into deadline misses.
-		exec[k] = time.Duration(float64(md.MeanLatency()) * 1.1)
+		// feasible-looking plans into deadline misses. With batching on,
+		// a task's capacity cost is the amortized per-item share of a
+		// full batch, so the scheduler sees the throughput gain.
+		e := time.Duration(float64(md.MeanLatency()) * 1.1)
+		if s.maxBatch > 1 {
+			e = s.cfg.Batching.curve(k).Amortized(e, s.maxBatch)
+		}
+		exec[k] = e
 	}
-	// busyUntil approximates, in unscaled virtual time since start, when
-	// each model drains its queue; pending[k] counts dispatched-but-
-	// unfinished tasks so completions can re-anchor the estimate on
-	// reality (mirroring sim.onTaskDone) instead of accumulating jitter.
-	busyUntil := make([]time.Duration, m)
+	// busyUntil[k][r] approximates, in unscaled virtual time since start,
+	// when replica r of model k drains the work committed to it;
+	// pending[k] counts dispatched-but-unfinished tasks so completions can
+	// re-anchor the estimate on reality (mirroring sim.onTaskDone) instead
+	// of accumulating jitter.
+	busyUntil := make([][]time.Duration, m)
+	for k := range busyUntil {
+		busyUntil[k] = make([]time.Duration, s.replicas[k])
+	}
 	pending := make([]int, m)
 	// inflight tracks committed-but-unfinished requests so shutdown can
 	// resolve them and drain knows when it is done.
@@ -882,11 +1034,15 @@ func (s *Server) coordinate(ctx context.Context) {
 				}
 			}
 		}
-		avail := busyUntil
+		avail := core.Capacity(busyUntil)
 		if blocked != ensemble.Empty {
-			avail = append([]time.Duration(nil), busyUntil...)
+			avail = append(core.Capacity(nil), busyUntil...)
 			for _, k := range blocked.Models() {
-				avail[k] = t + blockHorizon
+				slots := make([]time.Duration, len(busyUntil[k]))
+				for i := range slots {
+					slots[i] = t + blockHorizon
+				}
+				avail[k] = slots
 			}
 		}
 		infos := make([]core.QueryInfo, len(buffer))
@@ -908,12 +1064,16 @@ func (s *Server) coordinate(ctx context.Context) {
 				kept = append(kept, r)
 				continue
 			}
-			// Commit only when at least one chosen model is free.
+			// Commit only when at least one chosen model has a free
+			// replica.
 			free := false
+		freeScan:
 			for _, k := range sub.Models() {
-				if busyUntil[k] <= t {
-					free = true
-					break
+				for _, slot := range busyUntil[k] {
+					if slot <= t {
+						free = true
+						break freeScan
+					}
 				}
 			}
 			if !free {
@@ -951,23 +1111,41 @@ func (s *Server) coordinate(ctx context.Context) {
 				r.tr.Subset = sub.Models()
 				r.tr.Alternatives = s.alternatives(r.score)
 				depths := make([]int, len(s.taskCh))
+				forming := make([]int, len(s.taskCh))
 				for k, ch := range s.taskCh {
 					depths[k] = len(ch)
+					forming[k] = int(s.forming[k].Load())
 				}
 				r.tr.QueueDepths = depths
-				r.tr.BusyUntil = append([]time.Duration(nil), busyUntil...)
+				r.tr.Forming = forming
+				// Per-model earliest replica availability: the capacity
+				// signal the scheduler keyed its feasibility checks on.
+				bu := make([]time.Duration, m)
+				for k, slots := range busyUntil {
+					bu[k] = minSlot(slots)
+				}
+				r.tr.BusyUntil = bu
 				r.tr.Blocked = blocked.Models()
 			}
 			r.mu.Unlock()
 			inflight[r] = true
 			for _, k := range sub.Models() {
-				start := busyUntil[k]
+				// The task lands on the earliest-available replica slot,
+				// exactly the assumption the scheduler's capacity model
+				// (core.Capacity) made when it judged feasibility.
+				slot := 0
+				for i, v := range busyUntil[k] {
+					if v < busyUntil[k][slot] {
+						slot = i
+					}
+				}
+				start := busyUntil[k][slot]
 				if start < t {
 					start = t
 				}
 				select {
 				case s.taskCh[k] <- &task{req: r, k: k}:
-					busyUntil[k] = start + exec[k]
+					busyUntil[k][slot] = start + exec[k]
 					pending[k]++
 				default:
 					// Unreachable given the pre-flight check; if it ever
@@ -1033,8 +1211,17 @@ func (s *Server) coordinate(ctx context.Context) {
 					pending[e.k]--
 				}
 				// Re-anchor the backlog estimate on the actual completion
-				// time so latency jitter cannot accumulate drift.
-				busyUntil[e.k] = now() + time.Duration(pending[e.k])*exec[e.k]
+				// time so latency jitter cannot accumulate drift: the
+				// pending tasks are assumed spread evenly over the pool,
+				// replica i finishing after (pending+i)/R more tasks (the
+				// slot estimates sum to pending, preserving total
+				// capacity; with one replica this is the scalar
+				// now + pending*exec).
+				R := len(busyUntil[e.k])
+				anchor := now()
+				for i := range busyUntil[e.k] {
+					busyUntil[e.k][i] = anchor + time.Duration((pending[e.k]+i)/R)*exec[e.k]
+				}
 				if e.done {
 					r := e.req
 					delete(inflight, r)
@@ -1115,6 +1302,18 @@ func (s *Server) coordinate(ctx context.Context) {
 			dispatch()
 		}
 	}
+}
+
+// minSlot returns the earliest availability among a model's replica
+// slots.
+func minSlot(slots []time.Duration) time.Duration {
+	mn := slots[0]
+	for _, v := range slots[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
 }
 
 // resolve delivers a result exactly once; entering stateResolved is the

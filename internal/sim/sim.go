@@ -42,7 +42,10 @@ type Config struct {
 	Ensemble *ensemble.Ensemble
 	// Replicas[j] is how many server instances of model type j are
 	// deployed; nil means one each (the standard deployment). The static
-	// baseline uses replicas to harness memory freed by dropped models.
+	// baseline uses replicas to harness memory freed by dropped models;
+	// buffered mode exposes every replica's backlog to the scheduler as a
+	// core.Capacity and enqueues each committed task on the
+	// least-backlogged replica of its type.
 	Replicas []int
 	// Refs[sampleID] is the full ensemble's output per sample — the
 	// ground-truth reference.
@@ -87,13 +90,14 @@ type Config struct {
 	FastFirst bool
 
 	// BatchSize lets each model execute up to this many queued tasks as
-	// one batch (1 or 0 disables). Batch latency is
-	// base * (1 + (n-1)*BatchMarginal): throughput rises, per-item
+	// one batch (1 or 0 disables). Batch latency follows model.BatchCurve:
+	// base * (1 + (n-1)*BatchMarginal) — throughput rises, per-item
 	// latency rises with it — the classic serving alternative to
 	// per-query scheduling that the abl-batch study contrasts with
 	// Schemble under deadlines.
 	BatchSize int
-	// BatchMarginal is the per-extra-item latency fraction (default 0.15).
+	// BatchMarginal is the per-extra-item latency fraction (default
+	// model.DefaultBatchMarginal).
 	BatchMarginal float64
 
 	Seed uint64
@@ -185,6 +189,7 @@ type sim struct {
 
 	buffer      []*query
 	planPending bool
+	batch       model.BatchCurve
 
 	src     *rng.Source
 	records []metrics.Record
@@ -206,6 +211,7 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 		src:     rng.New(cfg.Seed ^ 0x51ba),
 		tr:      tr,
 		records: make([]metrics.Record, tr.N()),
+		batch:   model.BatchCurve{Marginal: cfg.BatchMarginal},
 	}
 	m := cfg.Ensemble.M()
 	replicas := cfg.Replicas
@@ -301,8 +307,8 @@ func (s *sim) onArrival(arrIdx int) {
 		s.immediateAdmit(q)
 		return
 	}
-	// Fast path (Exp-5): empty buffer + idle fastest model -> bypass
-	// scoring and scheduling, dispatch to the fastest model now.
+	// Fast path (Exp-5): empty buffer + an idle replica of the fastest
+	// model -> bypass scoring and scheduling, dispatch now.
 	if s.cfg.FastFirst && len(s.buffer) == 0 {
 		fastest := 0
 		for j := 1; j < s.cfg.Ensemble.M(); j++ {
@@ -310,8 +316,7 @@ func (s *sim) onArrival(arrIdx int) {
 				fastest = j
 			}
 		}
-		sv := s.servers[s.byType[fastest][0]]
-		if !sv.running && len(sv.queue) == 0 {
+		if s.anyIdle(fastest) {
 			s.commit(q, ensemble.Single(fastest))
 			return
 		}
@@ -337,12 +342,7 @@ func (s *sim) immediateAdmit(q *query) {
 	chosen := make([]int, 0, sub.Size())
 	var est time.Duration
 	for _, j := range sub.Models() {
-		best := -1
-		for _, si := range s.byType[j] {
-			if best < 0 || s.servers[si].backlogEnd < s.servers[best].backlogEnd {
-				best = si
-			}
-		}
+		best := s.leastBacklogged(j)
 		sv := s.servers[best]
 		start := sv.backlogEnd
 		if start < s.now {
@@ -377,12 +377,7 @@ func (s *sim) enqueue(si int, t *task) {
 	}
 	cost := s.exec[sv.typeIdx]
 	if b := s.cfg.BatchSize; b > 1 {
-		marginal := s.cfg.BatchMarginal
-		//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
-		if marginal == 0 {
-			marginal = 0.15
-		}
-		cost = time.Duration(float64(cost) * (1 + float64(b-1)*marginal) / float64(b))
+		cost = s.batch.Amortized(cost, b)
 	}
 	sv.backlogEnd = start + cost
 	sv.queue = append(sv.queue, t)
@@ -405,13 +400,8 @@ func (s *sim) maybeStart(si int) {
 	}
 	batch := sv.queue[:n]
 	sv.queue = sv.queue[n:]
-	marginal := s.cfg.BatchMarginal
-	//schemble:floateq-ok zero-value config sentinel: the field is set verbatim by callers, never computed
-	if marginal == 0 {
-		marginal = 0.15
-	}
 	dur := s.cfg.Ensemble.Models[sv.typeIdx].SampleLatency(s.src)
-	dur = time.Duration(float64(dur) * (1 + float64(n-1)*marginal))
+	dur = s.batch.Latency(dur, n)
 	sv.running = true
 	sv.busyUntil = s.now + dur
 	for _, t := range batch {
@@ -480,22 +470,23 @@ func (s *sim) planAndDispatch() {
 			ID: q.id, Arrival: q.arrival, Deadline: q.deadline, Score: q.score,
 		}
 	}
-	avail := make([]time.Duration, m)
+	avail := make(core.Capacity, m)
 	for j := 0; j < m; j++ {
-		avail[j] = s.servers[s.byType[j][0]].backlogEnd
+		slots := make([]time.Duration, len(s.byType[j]))
+		for i, si := range s.byType[j] {
+			slots[i] = s.servers[si].backlogEnd
+		}
+		avail[j] = slots
 	}
 	plan := s.cfg.Scheduler.Schedule(s.now, infos, avail, s.exec, s.cfg.Rewarder)
 
 	// Dispatch: walk buffered queries in EDF order; commit a query as soon
-	// as one of its planned models is idle (its other tasks queue behind
-	// busy models, which is the paper's per-model task buffer).
+	// as one of its planned models has an idle replica (its other tasks
+	// queue behind busy replicas, which is the paper's per-model task
+	// buffer).
 	order := make([]*query, len(s.buffer))
 	copy(order, s.buffer)
 	sortQueriesEDF(order)
-	idle := func(j int) bool {
-		sv := s.servers[s.byType[j][0]]
-		return !sv.running && len(sv.queue) == 0
-	}
 	committed := map[int]bool{}
 	for _, q := range order {
 		if q.committed || q.finished {
@@ -509,7 +500,7 @@ func (s *sim) planAndDispatch() {
 		}
 		anyIdle := false
 		for _, j := range sub.Models() {
-			if idle(j) {
+			if s.anyIdle(j) {
 				anyIdle = true
 				break
 			}
@@ -540,8 +531,33 @@ func (s *sim) commit(q *query, sub ensemble.Subset) {
 	q.remaining = sub.Size()
 	q.outs = make([]model.Output, s.cfg.Ensemble.M())
 	for _, j := range sub.Models() {
-		s.enqueue(s.byType[j][0], &task{q: q, typeIdx: j})
+		s.enqueue(s.leastBacklogged(j), &task{q: q, typeIdx: j})
 	}
+}
+
+// leastBacklogged returns the replica of model type j whose backlog ends
+// earliest, ties broken by deployment order (the replica-pool analogue of
+// "the model's queue").
+func (s *sim) leastBacklogged(j int) int {
+	best := -1
+	for _, si := range s.byType[j] {
+		if best < 0 || s.servers[si].backlogEnd < s.servers[best].backlogEnd {
+			best = si
+		}
+	}
+	return best
+}
+
+// anyIdle reports whether any replica of model type j is idle with an
+// empty queue.
+func (s *sim) anyIdle(j int) bool {
+	for _, si := range s.byType[j] {
+		sv := s.servers[si]
+		if !sv.running && len(sv.queue) == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // onDeadline handles a buffered query's deadline passing uncommitted.

@@ -374,7 +374,7 @@ type fullPlanScheduler struct{ m int }
 func (f fullPlanScheduler) Name() string { return "test-full-plan" }
 
 func (f fullPlanScheduler) Schedule(now time.Duration, qs []core.QueryInfo,
-	avail, exec []time.Duration, r core.Rewarder) core.Plan {
+	avail core.Capacity, exec []time.Duration, r core.Rewarder) core.Plan {
 	as := make(map[int]ensemble.Subset, len(qs))
 	for _, q := range qs {
 		as[q.ID] = ensemble.Full(f.m)
