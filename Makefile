@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test test-race chaos obsv bench fuzz cover
+.PHONY: check lint vet build test test-race chaos obsv bench bench-json fuzz cover
 
 check: vet build test-race
 
@@ -53,6 +53,17 @@ obsv:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-json runs cmd/schemble-bench — the scheduler micro-benchmarks
+# plus a high-arrival-rate serve soak — and writes the BENCH_dp.json
+# perf-trajectory file the ROADMAP tracks. CI runs it as
+#   make bench-json BENCH_FLAGS="-quick -baseline BENCH_dp.json"
+# which shrinks the soak and fails on a >25% ns/decision regression
+# against the committed baseline (the baseline is read before the file
+# is rewritten).
+BENCH_FLAGS ?=
+bench-json:
+	$(GO) run ./cmd/schemble-bench -out BENCH_dp.json $(BENCH_FLAGS)
 
 # Short coverage-guided fuzzing bursts over the scheduler and the HTTP
 # surface, seeded from testdata/fuzz. FUZZTIME=5m for a deeper local run;

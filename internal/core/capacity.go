@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"schemble/internal/ensemble"
@@ -14,6 +13,14 @@ import (
 // scalar busy-until the schedulers used before replica pools existed, and
 // every scheduler in this package is bit-identical to its scalar
 // predecessor in that case.
+//
+// Zero-replica convention: a model whose pool is empty (len(Capacity[k])
+// == 0) is planned as a SINGLE IDLE replica — the same "missing means
+// one" convention serve.Config.Replicas documents, so the simulator, the
+// runtime and hand-built capacities agree. A caller that wants a model
+// excluded from planning must instead push its slots past any feasible
+// deadline, the way the serve runtime encodes open breakers and crash
+// windows.
 type Capacity [][]time.Duration
 
 // SingleReplica lifts a per-model availability vector (one replica per
@@ -41,36 +48,71 @@ func (l layout) m() int { return len(l.off) - 1 }
 // flatten clamps every replica slot to now (a replica free in the past is
 // free now), sorts each model's slots ascending, and concatenates the
 // segments model-major. A model with no declared replicas gets one idle
-// slot. With one replica per model the result is exactly the normalized
-// per-model availability vector the schedulers consumed before pools.
+// slot (the zero-replica convention documented on Capacity). With one
+// replica per model the result is exactly the normalized per-model
+// availability vector the schedulers consumed before pools.
+//
+// flatten allocates fresh buffers on every call; the scheduler hot paths
+// use flattenScratch instead, which reuses its output buffers across
+// calls.
 func flatten(now time.Duration, c Capacity) ([]time.Duration, layout) {
-	off := make([]int, len(c)+1)
+	flat, off := flattenInto(nil, nil, now, c)
+	return flat, layout{off: off}
+}
+
+// flattenScratch reuses flatten's output buffers across calls so a
+// scheduler invoked per decision performs no allocations for capacity
+// normalization. The returned slices are owned by the scratch and
+// overwritten by the next call.
+type flattenScratch struct {
+	flat []time.Duration
+	off  []int
+}
+
+func (fs *flattenScratch) flatten(now time.Duration, c Capacity) ([]time.Duration, layout) {
+	fs.flat, fs.off = flattenInto(fs.flat[:0], fs.off[:0], now, c)
+	return fs.flat, layout{off: fs.off}
+}
+
+// flattenInto is flatten's allocation-free core: it appends the clamped,
+// per-model-sorted slot vector to flat and the segment offsets to off and
+// returns both (grown as needed). Segments are sorted with an insertion
+// sort — replica pools are small, and the sorted *values* are identical
+// to any other ascending sort, so the flattened vector is bit-identical
+// to the sort.Slice the allocating path used historically.
+func flattenInto(flat []time.Duration, off []int, now time.Duration, c Capacity) ([]time.Duration, []int) {
 	total := 0
-	for k, slots := range c {
-		off[k] = total
+	for _, slots := range c {
+		off = append(off, total)
 		n := len(slots)
 		if n == 0 {
 			n = 1
 		}
 		total += n
 	}
-	off[len(c)] = total
-	flat := make([]time.Duration, total)
+	off = append(off, total)
 	for k, slots := range c {
-		seg := flat[off[k]:off[k+1]]
 		if len(slots) == 0 {
-			seg[0] = now
+			// Zero-replica convention: plan as one idle replica.
+			flat = append(flat, now)
 			continue
 		}
-		for i, a := range slots {
+		segStart := off[k]
+		for _, a := range slots {
 			if a < now {
 				a = now
 			}
-			seg[i] = a
+			// Insertion sort: shift the sorted prefix right until a fits.
+			i := len(flat)
+			flat = append(flat, a)
+			for i > segStart && flat[i-1] > a {
+				flat[i] = flat[i-1]
+				i--
+			}
+			flat[i] = a
 		}
-		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
 	}
-	return flat, layout{off: off}
+	return flat, off
 }
 
 // completion computes when a query executing subset s would finish given

@@ -62,22 +62,29 @@ type Scheduler interface {
 	Schedule(now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan
 }
 
-// edfOrder returns the indices of queries sorted by deadline, then arrival,
-// then ID (stable total order).
+// edfLess is the EDF ordering: deadline, then arrival, then ID. With
+// unique IDs it is a total order, so any comparison sort produces the
+// same permutation from it.
+func edfLess(qa, qb QueryInfo) bool {
+	if qa.Deadline != qb.Deadline {
+		return qa.Deadline < qb.Deadline
+	}
+	if qa.Arrival != qb.Arrival {
+		return qa.Arrival < qb.Arrival
+	}
+	return qa.ID < qb.ID
+}
+
+// edfOrder returns the indices of queries sorted by edfLess, allocating a
+// fresh index slice. Hot paths use dpScratch.edfOrder, which reuses its
+// slice and sorter.
 func edfOrder(queries []QueryInfo) []int {
 	idx := make([]int, len(queries))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		qa, qb := queries[idx[a]], queries[idx[b]]
-		if qa.Deadline != qb.Deadline {
-			return qa.Deadline < qb.Deadline
-		}
-		if qa.Arrival != qb.Arrival {
-			return qa.Arrival < qb.Arrival
-		}
-		return qa.ID < qb.ID
+		return edfLess(queries[idx[a]], queries[idx[b]])
 	})
 	return idx
 }

@@ -253,24 +253,83 @@ func TestGreedySJFOrder(t *testing.T) {
 	}
 }
 
+// TestParetoPruning exercises dpScratch.insert, the insertion method
+// DP.Schedule actually runs (a long-dead standalone copy used to be
+// tested instead).
 func TestParetoPruning(t *testing.T) {
-	a := &dpEntry{avail: []time.Duration{10, 10}}
-	b := &dpEntry{avail: []time.Duration{20, 20}}
-	c := &dpEntry{avail: []time.Duration{5, 30}}
-	front := insertPareto(nil, b)
-	front = insertPareto(front, a) // a dominates b
-	if len(front) != 1 || front[0] != a {
-		t.Fatalf("dominated entry not pruned: %d entries", len(front))
+	a := []time.Duration{10, 10}
+	b := []time.Duration{20, 20}
+	c := []time.Duration{5, 30}
+	newLevel := func(maxFront int, vanilla bool) (*dpScratch, *dpTable) {
+		s := &dpScratch{maxFront: maxFront, vanilla: vanilla}
+		s.resetArena(2)
+		s.ensureSteps(1)
+		tab := &s.steps[0]
+		s.prepTable(tab, 1)
+		return s, tab
 	}
-	front = insertPareto(front, c) // incomparable with a
-	if len(front) != 2 {
-		t.Fatalf("incomparable entry dropped: %d entries", len(front))
+	avails := func(s *dpScratch, tab *dpTable) [][]time.Duration {
+		var out [][]time.Duration
+		for _, id := range tab.levels[0].ids {
+			out = append(out, s.avail(id))
+		}
+		return out
 	}
-	front = insertPareto(front, b) // dominated by a
-	if len(front) != 2 {
-		t.Fatalf("dominated insert accepted: %d entries", len(front))
+
+	s, tab := newLevel(-1, false)
+	s.insert(tab, 0, b, 0.5, -1, ensemble.Empty, 0)
+	s.insert(tab, 0, a, 0.5, -1, ensemble.Empty, 0) // a dominates b
+	if got := avails(s, tab); len(got) != 1 || !dominates(got[0], a) || !dominates(a, got[0]) {
+		t.Fatalf("dominated entry not pruned: %v", got)
 	}
-	if !dominates(a.avail, b.avail) || dominates(b.avail, a.avail) || dominates(a.avail, c.avail) {
+	if len(s.entries) != 1 {
+		t.Fatalf("pruned entry not recycled for the survivor: %d arena entries", len(s.entries))
+	}
+	s.insert(tab, 0, c, 0.5, -1, ensemble.Empty, 0) // incomparable with a
+	if got := len(tab.levels[0].ids); got != 2 {
+		t.Fatalf("incomparable entry dropped: %d entries", got)
+	}
+	s.insert(tab, 0, b, 0.5, -1, ensemble.Empty, 0) // dominated by a
+	if got := len(tab.levels[0].ids); got != 2 {
+		t.Fatalf("dominated insert accepted: %d entries", got)
+	}
+	// Exact-reward refinement: b's vector is dominated by a's, but a
+	// strictly higher exact reward keeps it as a "more accurate" way to
+	// reach the level.
+	s.insert(tab, 0, b, 0.9, -1, ensemble.Empty, 0)
+	if got := len(tab.levels[0].ids); got != 3 {
+		t.Fatalf("higher-reward dominated entry dropped: %d entries", got)
+	}
+	// ...and a lower exact reward does not.
+	s.insert(tab, 0, a, 0.4, -1, ensemble.Empty, 0)
+	if got := len(tab.levels[0].ids); got != 3 {
+		t.Fatalf("lower-reward dominated insert accepted: %d entries", got)
+	}
+
+	// Vanilla ignores rewards: availability dominance alone prunes.
+	s, tab = newLevel(-1, true)
+	s.insert(tab, 0, b, 0.9, -1, ensemble.Empty, 0)
+	s.insert(tab, 0, a, 0.1, -1, ensemble.Empty, 0)
+	if got := avails(s, tab); len(got) != 1 || !dominates(got[0], a) {
+		t.Fatalf("vanilla dominance must ignore rewards: %v", got)
+	}
+
+	// Beam eviction drops the worst (lowest-reward) incomparable entry.
+	s, tab = newLevel(2, false)
+	s.insert(tab, 0, []time.Duration{0, 30}, 0.9, -1, ensemble.Empty, 0)
+	s.insert(tab, 0, []time.Duration{10, 20}, 0.5, -1, ensemble.Empty, 0)
+	s.insert(tab, 0, []time.Duration{20, 10}, 0.7, -1, ensemble.Empty, 0)
+	ids := tab.levels[0].ids
+	if len(ids) != 2 {
+		t.Fatalf("beam limit not enforced: %d entries", len(ids))
+	}
+	for _, id := range ids {
+		if s.entries[id].reward == 0.5 {
+			t.Fatal("beam eviction kept the worst entry")
+		}
+	}
+
+	if !dominates(a, b) || dominates(b, a) || dominates(a, c) {
 		t.Error("dominates() misbehaves")
 	}
 }

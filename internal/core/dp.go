@@ -13,6 +13,24 @@ import (
 // entry is pruned when another entry in the same cell is no later on every
 // model). By Theorem 3 the plan's reward is within (1-epsilon) of the local
 // optimum for Delta = epsilon/N.
+//
+// A DP instance owns a reusable arena (see arena.go) so the steady-state
+// Schedule path performs no allocations, and it reuses the frontier tables
+// of the previous call when the inputs share an unchanged EDF prefix.
+// Consequences:
+//
+//   - A DP instance must NOT be shared by concurrent Schedule calls.
+//     Distinct instances are fully independent.
+//   - The returned Plan's Assignments map is owned by the scheduler and
+//     valid only until the next Schedule call on the same instance;
+//     callers that retain plans must copy the map.
+//   - The Rewarder must be a pure function of (score, subset): the
+//     incremental path assumes the same Rewarder value yields the same
+//     rewards it did on the previous call.
+//
+// Both paths — incremental and from-scratch — produce bit-identical plans
+// to ReferenceDP, the retained pre-arena implementation
+// (dp_identity_test.go pins this over thousands of seeded instances).
 type DP struct {
 	// Delta is the reward quantization step; the paper's sweet spot is
 	// 0.01 (Exp-4/Exp-8). Defaults to 0.01.
@@ -38,6 +56,8 @@ type DP struct {
 	// default (false) keeps the refinement, which makes coarse Delta
 	// nearly lossless.
 	Vanilla bool
+
+	scr *dpScratch
 }
 
 // UnprunedCap bounds per-level frontier size when pruning is disabled.
@@ -45,17 +65,6 @@ const UnprunedCap = 64
 
 // Name implements Scheduler.
 func (d *DP) Name() string { return "dp" }
-
-// dpEntry is one Pareto-frontier member: a flattened replica-slot
-// availability vector (see flatten), the exact (unquantized) cumulative
-// reward, and the back-pointer chain that reconstructs the plan.
-type dpEntry struct {
-	avail  []time.Duration
-	reward float64
-	parent *dpEntry
-	choice ensemble.Subset
-	qID    int
-}
 
 // dominates reports whether a is no later than b on every replica slot.
 // Slots within a model's segment are kept sorted, so element-wise
@@ -67,25 +76,6 @@ func dominates(a, b []time.Duration) bool {
 		}
 	}
 	return true
-}
-
-// insertPareto adds e to the frontier, dropping dominated entries. Within a
-// quantized reward level, entry f dominates e when f is no later on every
-// model AND has no less exact reward — keeping both "cheaper" and "more
-// accurate" ways to reach the level.
-func insertPareto(front []*dpEntry, e *dpEntry) []*dpEntry {
-	for _, f := range front {
-		if f.reward >= e.reward && dominates(f.avail, e.avail) {
-			return front // e is dominated; keep frontier as is
-		}
-	}
-	out := front[:0]
-	for _, f := range front {
-		if !(e.reward >= f.reward && dominates(e.avail, f.avail)) {
-			out = append(out, f)
-		}
-	}
-	return append(out, e)
 }
 
 // quantize maps a reward to its level, robust to the binary representation
@@ -104,100 +94,103 @@ func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail Capacity, ex
 	if window <= 0 {
 		window = 16
 	}
-	plan := Plan{Assignments: make(map[int]ensemble.Subset, len(queries))}
-	if len(queries) == 0 {
-		return plan
+	maxFront := d.MaxFrontier
+	if maxFront == 0 {
+		maxFront = 12
 	}
-	order := edfOrder(queries)
+	if d.scr == nil {
+		d.scr = &dpScratch{}
+	}
+	s := d.scr
+	s.delta, s.vanilla, s.noPrune, s.maxFront = delta, d.Vanilla, d.DisablePrune, maxFront
+
+	plan := Plan{Assignments: s.planMap()}
+	if len(queries) == 0 {
+		return plan // previous arena state stays valid for the next call
+	}
+	order := s.edfOrder(queries)
 	if len(order) > window {
 		order = order[:window]
 	}
-	base, lay := flatten(now, avail)
-	subsets := ensemble.AllSubsets(avail.M())
-
-	// frontier[level] holds the Pareto entries attaining quantized reward
-	// level after the queries processed so far. Levels index a dense
-	// slice (each query adds at most ceil(1/delta) levels), iterated in
-	// ascending order, so the DP is fully deterministic.
+	base, lay := s.fl.flatten(now, avail)
+	subsets := s.allSubsets(avail.M())
+	// Each query adds at most this many levels. Rewards above 1.0 clamp
+	// into the top level (and negative rewards into level 0) rather than
+	// indexing out of range; the exact reward is carried unclamped, so
+	// extraction and TotalReward remain truthful.
 	perQueryLevels := quantize(1, delta) + 1
-	frontier := make([][]*dpEntry, 1, 1+len(order)*perQueryLevels)
-	frontier[0] = []*dpEntry{{avail: base}}
-	scratch := make([]time.Duration, len(base))
 
-	maxFrontier := d.MaxFrontier
-	if maxFrontier == 0 {
-		maxFrontier = 12
+	// Incremental reuse: when everything but the queue is unchanged, keep
+	// the frontier tables of the longest shared EDF-ordered queue prefix
+	// and re-solve only from the first divergent query.
+	p := 0
+	reuse := s.pValid && s.pVanilla == d.Vanilla && s.pNoPrune == d.DisablePrune &&
+		s.pMaxFront == maxFront && sameRewarder(s.pRewarder, r) &&
+		durEq(s.pExec, exec) && intEq(s.pOff, lay.off) && durEq(s.pBase, base)
+	//schemble:floateq-ok reuse fingerprint: prefix reuse requires the exact same quantization step
+	reuse = reuse && s.pDelta == delta
+	s.pValid = false // invalid while rebuilding (a Rewarder may panic mid-solve)
+	if reuse {
+		max := len(order)
+		if len(s.pOrder) < max {
+			max = len(s.pOrder)
+		}
+		for p < max && queries[order[p]] == s.pOrder[p] {
+			p++
+		}
+		s.invalidateFrom(p + 1)
+	} else {
+		s.resetArena(len(base))
+		s.ensureSteps(1)
+		t0 := &s.steps[0]
+		s.prepTable(t0, 1)
+		root := s.newEntry(base, 0, maxOf(base), -1, ensemble.Empty, 0)
+		t0.levels[0].ids = append(t0.levels[0].ids, root)
+		s.nsteps = 1
 	}
-	// insert adds a candidate (avail in cand, exact reward rw) to the
-	// frontier, allocating the availability vector only when the
-	// candidate actually survives dominance checks and the beam limit.
-	insert := func(front []*dpEntry, cand []time.Duration, rw float64, parent *dpEntry, choice ensemble.Subset, qID int) []*dpEntry {
-		if d.DisablePrune {
-			if len(front) >= UnprunedCap {
-				return front
-			}
-			na := make([]time.Duration, len(cand))
-			copy(na, cand)
-			return append(front, &dpEntry{avail: na, reward: rw,
-				parent: parent, choice: choice, qID: qID})
-		}
-		for _, f := range front {
-			if (d.Vanilla || f.reward >= rw) && dominates(f.avail, cand) {
-				return front
-			}
-		}
-		out := front[:0]
-		for _, f := range front {
-			if !((d.Vanilla || rw >= f.reward) && dominates(cand, f.avail)) {
-				out = append(out, f)
-			}
-		}
-		na := make([]time.Duration, len(cand))
-		copy(na, cand)
-		out = append(out, &dpEntry{avail: na, reward: rw,
-			parent: parent, choice: choice, qID: qID})
-		if maxFrontier > 0 && len(out) > maxFrontier {
-			// Evict the worst entry under the betterEntry ordering.
-			worst := 0
-			for i := 1; i < len(out); i++ {
-				if betterEntry(out[worst], out[i]) {
-					worst = i
-				}
-			}
-			out[worst] = out[len(out)-1]
-			out = out[:len(out)-1]
-		}
-		return out
-	}
-	for _, qi := range order {
-		q := queries[qi]
-		next := make([][]*dpEntry, len(frontier)+perQueryLevels)
-		for level, entries := range frontier {
-			for _, e := range entries {
+
+	for i := p; i < len(order); i++ {
+		q := queries[order[i]]
+		s.ensureSteps(i + 2)
+		// Take table pointers only after ensureSteps: growth moves steps.
+		prev := &s.steps[i]
+		next := &s.steps[i+1]
+		s.prepTable(next, len(prev.levels)+perQueryLevels)
+		for level := range prev.levels {
+			for _, eid := range prev.levels[level].ids {
+				// Copy the entry's fields: inserts below may grow the
+				// entries slice and would invalidate a pointer.
+				e := s.entries[eid]
 				// Skip the query: same level, same availability.
-				next[level] = insert(next[level], e.avail, e.reward, e, ensemble.Empty, q.ID)
+				s.insert(next, level, s.avail(eid), e.reward, eid, ensemble.Empty, q.ID)
 				// Try every subset that meets the deadline.
-				for _, s := range subsets {
-					done := lay.completion(e.avail, exec, s, scratch)
+				for _, sub := range subsets {
+					done := lay.completion(s.avail(eid), exec, sub, s.comp)
 					if done > q.Deadline {
 						continue
 					}
-					rw := r.Reward(q.Score, s)
-					lvl := level + quantize(rw, delta)
-					next[lvl] = insert(next[lvl], scratch, e.reward+rw, e, s, q.ID)
+					rw := r.Reward(q.Score, sub)
+					lvl := quantize(rw, delta)
+					if lvl >= perQueryLevels {
+						lvl = perQueryLevels - 1
+					} else if lvl < 0 {
+						lvl = 0
+					}
+					s.insert(next, level+lvl, s.comp, e.reward+rw, eid, sub, q.ID)
 				}
 			}
 		}
-		frontier = next
+		s.nsteps = i + 2
 	}
 
 	// Visit the non-empty cell with the largest quantized reward; within
 	// it prefer the highest exact reward, then the plan finishing earliest
 	// overall (most room for future arrivals), then a lexicographic
 	// tie-break for determinism.
+	final := &s.steps[len(order)]
 	bestLevel := -1
-	for level := len(frontier) - 1; level >= 0; level-- {
-		if len(frontier[level]) > 0 {
+	for level := len(final.levels) - 1; level >= 0; level-- {
+		if len(final.levels[level].ids) > 0 {
 			bestLevel = level
 			break
 		}
@@ -205,46 +198,42 @@ func (d *DP) Schedule(now time.Duration, queries []QueryInfo, avail Capacity, ex
 	if bestLevel < 0 {
 		return plan
 	}
-	entries := frontier[bestLevel]
-	best := entries[0]
-	for _, e := range entries[1:] {
-		if d.Vanilla {
-			if maxOf(e.avail) < maxOf(best.avail) {
-				best = e
+	ids := final.levels[bestLevel].ids
+	best := ids[0]
+	for _, eid := range ids[1:] {
+		if s.vanilla {
+			if s.entries[eid].fin < s.entries[best].fin {
+				best = eid
 			}
 			continue
 		}
-		if betterEntry(e, best) {
-			best = e
+		if s.better(eid, best) {
+			best = eid
 		}
 	}
-	for e := best; e != nil && e.parent != nil; e = e.parent {
-		plan.Assignments[e.qID] = e.choice
+	for id := best; s.entries[id].parent >= 0; id = s.entries[id].parent {
+		plan.Assignments[s.entries[id].qID] = s.entries[id].choice
 	}
-	plan.TotalReward = best.reward
+	plan.TotalReward = s.entries[best].reward
+
+	// Record the fingerprint for the next call's prefix reuse.
+	s.pDelta, s.pVanilla, s.pNoPrune, s.pMaxFront = delta, d.Vanilla, d.DisablePrune, maxFront
+	s.pRewarder = r
+	s.pExec = append(s.pExec[:0], exec...)
+	s.pOff = append(s.pOff[:0], lay.off...)
+	s.pBase = append(s.pBase[:0], base...)
+	s.pOrder = s.pOrder[:0]
+	for _, qi := range order {
+		s.pOrder = append(s.pOrder, queries[qi])
+	}
+	s.pValid = true
 	return plan
 }
 
-// betterEntry orders candidates within the winning level: exact reward
-// descending, overall finish ascending, then lexicographic availability.
-func betterEntry(a, b *dpEntry) bool {
-	//schemble:floateq-ok deterministic tie-break: exact ties fall through to the next ordering key
-	if a.reward != b.reward {
-		return a.reward > b.reward
-	}
-	am, bm := maxOf(a.avail), maxOf(b.avail)
-	if am != bm {
-		return am < bm
-	}
-	for k := range a.avail {
-		if a.avail[k] != b.avail[k] {
-			return a.avail[k] < b.avail[k]
-		}
-	}
-	return false
-}
-
 func maxOf(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
 	mx := xs[0]
 	for _, x := range xs[1:] {
 		if x > mx {

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"schemble/internal/ensemble"
+	"schemble/internal/rng"
+)
+
+// This file pins the arena-based DP (and scratch-based Greedy) to the
+// frozen pre-arena implementations: every shortcut the hot path takes —
+// frontier prefix reuse, entry recycling, the Pareto short-circuit, the
+// closure-free sorts — must leave the produced plans bit-identical.
+
+// clonePlan deep-copies a plan. DP and Greedy reuse their Assignments
+// map across calls, so any plan held past the next Schedule call on the
+// same instance must be cloned first.
+func clonePlan(p Plan) Plan {
+	m := make(map[int]ensemble.Subset, len(p.Assignments))
+	for k, v := range p.Assignments {
+		m[k] = v
+	}
+	return Plan{Assignments: m, TotalReward: p.TotalReward}
+}
+
+// samePlan requires exact equality: bitwise TotalReward and identical
+// Assignments maps (including explicit Empty entries).
+func samePlan(t *testing.T, tag string, got, want Plan) {
+	t.Helper()
+	if got.TotalReward != want.TotalReward {
+		t.Fatalf("%s: TotalReward %v != reference %v", tag, got.TotalReward, want.TotalReward)
+	}
+	if len(got.Assignments) != len(want.Assignments) {
+		t.Fatalf("%s: %d assignments != reference %d (%v vs %v)",
+			tag, len(got.Assignments), len(want.Assignments), got.Assignments, want.Assignments)
+	}
+	for id, s := range want.Assignments {
+		gs, ok := got.Assignments[id]
+		if !ok || gs != s {
+			t.Fatalf("%s: query %d assigned %v, reference %v", tag, id, gs, s)
+		}
+	}
+}
+
+// dpIdentityConfigs are the configuration corners the identity property
+// is checked under.
+var dpIdentityConfigs = []struct {
+	name string
+	mk   func() (*DP, *ReferenceDP)
+}{
+	{"default", func() (*DP, *ReferenceDP) {
+		return &DP{Delta: 0.01}, &ReferenceDP{Delta: 0.01}
+	}},
+	{"vanilla", func() (*DP, *ReferenceDP) {
+		return &DP{Delta: 0.01, Vanilla: true}, &ReferenceDP{Delta: 0.01, Vanilla: true}
+	}},
+	{"noprune", func() (*DP, *ReferenceDP) {
+		return &DP{Delta: 0.05, DisablePrune: true}, &ReferenceDP{Delta: 0.05, DisablePrune: true}
+	}},
+	{"unbounded-frontier", func() (*DP, *ReferenceDP) {
+		return &DP{Delta: 0.02, MaxFrontier: -1}, &ReferenceDP{Delta: 0.02, MaxFrontier: -1}
+	}},
+	{"coarse", func() (*DP, *ReferenceDP) {
+		return &DP{Delta: 0.25, MaxWindow: 8}, &ReferenceDP{Delta: 0.25, MaxWindow: 8}
+	}},
+	{"fine-tight-beam", func() (*DP, *ReferenceDP) {
+		return &DP{Delta: 0.002, MaxFrontier: 3}, &ReferenceDP{Delta: 0.002, MaxFrontier: 3}
+	}},
+}
+
+// TestDPBitIdenticalToReference replays the seeded property instances
+// through the arena DP and the frozen reference under every
+// configuration corner. One DP instance is reused across all seeds per
+// configuration, so the arena-reset path between unrelated instances is
+// exercised as hard as the solver itself.
+func TestDPBitIdenticalToReference(t *testing.T) {
+	for _, cfg := range dpIdentityConfigs {
+		d, ref := cfg.mk()
+		for seed := uint64(0); seed < propertyCases; seed++ {
+			inst := genInstance(seed)
+			r := rootRewarder{m: inst.m}
+			got := d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+			want := ref.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+			samePlan(t, cfg.name+"/seed", got, want)
+		}
+	}
+}
+
+// TestDPIncrementalReuseIdentity drives a single DP instance through an
+// evolving queue — repeats, tail arrivals, head departures, clock
+// advances, capacity perturbations — and requires every decision to
+// match a from-scratch reference solve. This is the property that
+// licenses prefix reuse of the frontier tables.
+func TestDPIncrementalReuseIdentity(t *testing.T) {
+	const seeds = 300
+	for seed := uint64(0); seed < seeds; seed++ {
+		src := rng.New(seed ^ 0x5bf03635)
+		inst := genInstance(seed)
+		d := &DP{Delta: 0.01}
+		ref := &ReferenceDP{Delta: 0.01}
+		r := rootRewarder{m: inst.m}
+		nextID := 1000
+		for step := 0; step < 12; step++ {
+			got := clonePlan(d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r))
+			want := ref.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+			samePlan(t, "incremental", got, want)
+			switch src.Intn(5) {
+			case 0:
+				// Identical repeat: the maximal-reuse path that decides
+				// without rebuilding any table.
+			case 1:
+				// Tail arrival: extends the shared EDF prefix by one.
+				var last time.Duration
+				for _, q := range inst.queries {
+					if q.Deadline > last {
+						last = q.Deadline
+					}
+				}
+				inst.queries = append(inst.queries, QueryInfo{
+					ID:       nextID,
+					Arrival:  inst.now,
+					Deadline: last + time.Duration(1+src.Intn(40))*ms,
+					Score:    src.Float64(),
+				})
+				nextID++
+			case 2:
+				// Head departure: invalidates every table.
+				if len(inst.queries) > 1 {
+					head := 0
+					for i, q := range inst.queries {
+						if edfLess(q, inst.queries[head]) {
+							head = i
+						}
+					}
+					inst.queries = append(inst.queries[:head], inst.queries[head+1:]...)
+				}
+			case 3:
+				// Clock advance: changes the flattened base vector.
+				inst.now += time.Duration(src.Intn(8)) * ms
+			case 4:
+				// Capacity perturbation: one replica picks up work.
+				k := src.Intn(len(inst.cap))
+				if len(inst.cap[k]) > 0 {
+					inst.cap[k][src.Intn(len(inst.cap[k]))] += time.Duration(1+src.Intn(30)) * ms
+				}
+			}
+		}
+	}
+}
+
+// greedyReferenceSchedule is the pre-scratch Greedy.Schedule, kept
+// verbatim as the oracle for the scratch-based rewrite.
+func greedyReferenceSchedule(order Order, now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan {
+	plan := Plan{Assignments: make(map[int]ensemble.Subset, len(queries))}
+	if len(queries) == 0 {
+		return plan
+	}
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		qa, qb := queries[idx[a]], queries[idx[b]]
+		switch order {
+		case FIFO:
+			if qa.Arrival != qb.Arrival {
+				return qa.Arrival < qb.Arrival
+			}
+		case SJF:
+			if qa.Score != qb.Score {
+				return qa.Score < qb.Score
+			}
+		default: // EDF
+			if qa.Deadline != qb.Deadline {
+				return qa.Deadline < qb.Deadline
+			}
+		}
+		return qa.ID < qb.ID
+	})
+	cur, lay := flatten(now, avail)
+	scratch := make([]time.Duration, len(cur))
+	subsets := ensemble.AllSubsets(avail.M())
+	for _, qi := range idx {
+		q := queries[qi]
+		best := ensemble.Empty
+		bestR := 0.0
+		var bestAvail []time.Duration
+		for _, s := range subsets {
+			done := lay.completion(cur, exec, s, scratch)
+			if done > q.Deadline {
+				continue
+			}
+			rw := r.Reward(q.Score, s)
+			if rw > bestR || (rw == bestR && best != ensemble.Empty && s.Size() < best.Size()) {
+				best, bestR = s, rw
+				bestAvail = append(bestAvail[:0], scratch...)
+			}
+		}
+		plan.Assignments[q.ID] = best
+		if best != ensemble.Empty {
+			copy(cur, bestAvail)
+			plan.TotalReward += bestR
+		}
+	}
+	return plan
+}
+
+// TestGreedyBitIdenticalToReference pins the scratch-based Greedy to the
+// frozen allocating implementation, one instance reused across seeds,
+// all three orders.
+func TestGreedyBitIdenticalToReference(t *testing.T) {
+	for _, order := range []Order{EDF, FIFO, SJF} {
+		g := &Greedy{Order: order}
+		for seed := uint64(0); seed < propertyCases; seed++ {
+			inst := genInstance(seed)
+			r := rootRewarder{m: inst.m}
+			got := g.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+			want := greedyReferenceSchedule(order, inst.now, inst.queries, inst.cap, inst.exec, r)
+			samePlan(t, "greedy+"+order.String(), got, want)
+		}
+	}
+}
+
+// TestDPScheduleSteadyStateZeroAlloc is the tentpole's regression guard:
+// after warmup, Schedule must not allocate — neither on the
+// maximal-reuse path (identical consecutive inputs) nor when alternating
+// between two instances that force full re-solves.
+func TestDPScheduleSteadyStateZeroAlloc(t *testing.T) {
+	instA := genInstance(7)
+	instB := genInstance(8)
+	for seed := uint64(9); instB.m != instA.m; seed++ {
+		// The subset enumeration is cached per model count; alternate
+		// between same-m instances so the cache is exercised, not thrashed.
+		instB = genInstance(seed)
+	}
+	var rA Rewarder = rootRewarder{m: instA.m}
+	var rB Rewarder = rootRewarder{m: instB.m}
+
+	d := &DP{}
+	for i := 0; i < 3; i++ {
+		d.Schedule(instA.now, instA.queries, instA.cap, instA.exec, rA)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		d.Schedule(instA.now, instA.queries, instA.cap, instA.exec, rA)
+	}); n != 0 {
+		t.Errorf("DP.Schedule steady state (full reuse): %v allocs/op, want 0", n)
+	}
+
+	d2 := &DP{}
+	for i := 0; i < 3; i++ {
+		d2.Schedule(instA.now, instA.queries, instA.cap, instA.exec, rA)
+		d2.Schedule(instB.now, instB.queries, instB.cap, instB.exec, rB)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		d2.Schedule(instA.now, instA.queries, instA.cap, instA.exec, rA)
+		d2.Schedule(instB.now, instB.queries, instB.cap, instB.exec, rB)
+	}); n != 0 {
+		t.Errorf("DP.Schedule steady state (alternating re-solve): %v allocs/op, want 0", n)
+	}
+
+	g := &Greedy{Order: EDF}
+	for i := 0; i < 3; i++ {
+		g.Schedule(instA.now, instA.queries, instA.cap, instA.exec, rA)
+		g.Schedule(instB.now, instB.queries, instB.cap, instB.exec, rB)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		g.Schedule(instA.now, instA.queries, instA.cap, instA.exec, rA)
+		g.Schedule(instB.now, instB.queries, instB.cap, instB.exec, rB)
+	}); n != 0 {
+		t.Errorf("Greedy.Schedule steady state: %v allocs/op, want 0", n)
+	}
+}
+
+// scaledRewarder returns rewards outside [0,1]: scale 2.5 exceeds the
+// level table a reward ≤ 1 sizes, scale -0.5 goes negative.
+type scaledRewarder struct {
+	scale float64
+	m     int
+}
+
+func (r scaledRewarder) Reward(score float64, s ensemble.Subset) float64 {
+	if s == ensemble.Empty {
+		return 0
+	}
+	return r.scale * float64(s.Size()) / float64(r.m)
+}
+
+// TestDPOutOfRangeRewarder is the regression test for the historical
+// index-out-of-range panic: a Rewarder exceeding 1.0 indexed past the
+// quantized level table (ReferenceDP preserves that panic; see its doc).
+// DP clamps the quantized level while carrying the exact reward, so the
+// plan stays feasible and TotalReward truthful.
+func TestDPOutOfRangeRewarder(t *testing.T) {
+	for _, scale := range []float64{2.5, -0.5} {
+		for seed := uint64(0); seed < 50; seed++ {
+			inst := genInstance(seed)
+			r := scaledRewarder{scale: scale, m: inst.m}
+			d := &DP{Delta: 0.01}
+			plan := d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+			replayFeasible(t, "dp/out-of-range", seed, inst, plan, r)
+			if scale < 0 && plan.TotalReward != 0 {
+				t.Fatalf("seed %d: negative rewards must never beat skipping, got %v",
+					seed, plan.TotalReward)
+			}
+			assigned := false
+			for _, s := range plan.Assignments {
+				assigned = assigned || s != ensemble.Empty
+			}
+			if scale > 0 && assigned && plan.TotalReward <= 0 {
+				t.Fatalf("seed %d: out-of-range rewards still describe useful work, got %v",
+					seed, plan.TotalReward)
+			}
+		}
+	}
+}
+
+// TestZeroReplicaConvention pins the documented convention: a model with
+// zero declared replicas is planned exactly as one idle replica — the
+// "missing means one" rule serve.Config.Replicas uses.
+func TestZeroReplicaConvention(t *testing.T) {
+	now := 10 * ms
+	zero := Capacity{{}, {15 * ms, 5 * ms}}
+	one := Capacity{{now}, {15 * ms, 5 * ms}}
+
+	fz, lz := flatten(now, zero)
+	fo, lo := flatten(now, one)
+	if !durEq(fz, fo) || !intEq(lz.off, lo.off) {
+		t.Fatalf("flatten(zero-replica) = %v %v, want %v %v", fz, lz.off, fo, lo.off)
+	}
+
+	queries := []QueryInfo{
+		{ID: 1, Arrival: now, Deadline: now + 60*ms, Score: 0.4},
+		{ID: 2, Arrival: now, Deadline: now + 90*ms, Score: 0.8},
+	}
+	exec := []time.Duration{20 * ms, 30 * ms}
+	r := rootRewarder{m: 2}
+	for _, s := range []Scheduler{&DP{Delta: 0.01}, &Greedy{Order: EDF}} {
+		got := clonePlan(s.Schedule(now, queries, zero, exec, r))
+		want := s.Schedule(now, queries, one, exec, r)
+		samePlan(t, s.Name()+"/zero-replica", got, want)
+	}
+}

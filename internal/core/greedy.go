@@ -38,8 +38,57 @@ func (o Order) String() string {
 // highest-reward subset that still meets its deadline given the commitments
 // already made — ignoring the queries behind it, which is exactly the
 // myopia the DP algorithm fixes.
+//
+// Like DP, a Greedy instance owns reusable scratch buffers: it must not
+// be shared by concurrent Schedule calls, and the returned Plan's
+// Assignments map is valid only until the next Schedule call on the same
+// instance.
 type Greedy struct {
 	Order Order
+
+	scr *greedyScratch
+}
+
+// greedyScratch holds Greedy's reusable per-instance buffers.
+type greedyScratch struct {
+	fl        flattenScratch
+	sorter    greedySorter
+	comp      []time.Duration
+	bestAvail []time.Duration
+	subsets   []ensemble.Subset
+	subsetsM  int
+	plan      map[int]ensemble.Subset
+}
+
+// greedySorter sorts a query index slice under one of the Greedy orders
+// without the closure allocation of sort.Slice. The comparator is a
+// total order whenever query IDs are unique.
+type greedySorter struct {
+	idx   []int
+	qs    []QueryInfo
+	order Order
+}
+
+func (g *greedySorter) Len() int      { return len(g.idx) }
+func (g *greedySorter) Swap(i, j int) { g.idx[i], g.idx[j] = g.idx[j], g.idx[i] }
+func (g *greedySorter) Less(i, j int) bool {
+	qa, qb := g.qs[g.idx[i]], g.qs[g.idx[j]]
+	switch g.order {
+	case FIFO:
+		if qa.Arrival != qb.Arrival {
+			return qa.Arrival < qb.Arrival
+		}
+	case SJF:
+		//schemble:floateq-ok deterministic tie-break: exact ties fall through to the next ordering key
+		if qa.Score != qb.Score {
+			return qa.Score < qb.Score
+		}
+	default: // EDF
+		if qa.Deadline != qb.Deadline {
+			return qa.Deadline < qb.Deadline
+		}
+	}
+	return qa.ID < qb.ID
 }
 
 // Name implements Scheduler.
@@ -47,57 +96,58 @@ func (g *Greedy) Name() string { return "greedy+" + g.Order.String() }
 
 // Schedule implements Scheduler.
 func (g *Greedy) Schedule(now time.Duration, queries []QueryInfo, avail Capacity, exec []time.Duration, r Rewarder) Plan {
-	plan := Plan{Assignments: make(map[int]ensemble.Subset, len(queries))}
+	if g.scr == nil {
+		g.scr = &greedyScratch{}
+	}
+	s := g.scr
+	if s.plan == nil {
+		s.plan = make(map[int]ensemble.Subset, 16)
+	}
+	clear(s.plan)
+	plan := Plan{Assignments: s.plan}
 	if len(queries) == 0 {
 		return plan
 	}
-	idx := make([]int, len(queries))
-	for i := range idx {
-		idx[i] = i
+	idx := s.sorter.idx[:0]
+	for i := range queries {
+		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		qa, qb := queries[idx[a]], queries[idx[b]]
-		switch g.Order {
-		case FIFO:
-			if qa.Arrival != qb.Arrival {
-				return qa.Arrival < qb.Arrival
-			}
-		case SJF:
-			//schemble:floateq-ok deterministic tie-break: exact ties fall through to the next ordering key
-			if qa.Score != qb.Score {
-				return qa.Score < qb.Score
-			}
-		default: // EDF
-			if qa.Deadline != qb.Deadline {
-				return qa.Deadline < qb.Deadline
-			}
-		}
-		return qa.ID < qb.ID
-	})
+	s.sorter.idx, s.sorter.qs, s.sorter.order = idx, queries, g.Order
+	sort.Sort(&s.sorter)
+	s.sorter.qs = nil
+	idx = s.sorter.idx
 
-	cur, lay := flatten(now, avail)
-	scratch := make([]time.Duration, len(cur))
-	subsets := ensemble.AllSubsets(avail.M())
+	cur, lay := s.fl.flatten(now, avail)
+	if cap(s.comp) < len(cur) {
+		s.comp = make([]time.Duration, len(cur))
+		s.bestAvail = make([]time.Duration, len(cur))
+	} else {
+		s.comp = s.comp[:len(cur)]
+		s.bestAvail = s.bestAvail[:len(cur)]
+	}
+	if s.subsets == nil && avail.M() > 0 || s.subsetsM != avail.M() {
+		s.subsets = ensemble.AllSubsets(avail.M())
+		s.subsetsM = avail.M()
+	}
 	for _, qi := range idx {
 		q := queries[qi]
 		best := ensemble.Empty
 		bestR := 0.0
-		var bestAvail []time.Duration
-		for _, s := range subsets {
-			done := lay.completion(cur, exec, s, scratch)
+		for _, sub := range s.subsets {
+			done := lay.completion(cur, exec, sub, s.comp)
 			if done > q.Deadline {
 				continue
 			}
-			rw := r.Reward(q.Score, s)
+			rw := r.Reward(q.Score, sub)
 			//schemble:floateq-ok deterministic tie-break: an exact reward tie prefers the smaller subset
-			if rw > bestR || (rw == bestR && best != ensemble.Empty && s.Size() < best.Size()) {
-				best, bestR = s, rw
-				bestAvail = append(bestAvail[:0], scratch...)
+			if rw > bestR || (rw == bestR && best != ensemble.Empty && sub.Size() < best.Size()) {
+				best, bestR = sub, rw
+				copy(s.bestAvail, s.comp)
 			}
 		}
 		plan.Assignments[q.ID] = best
 		if best != ensemble.Empty {
-			copy(cur, bestAvail)
+			copy(cur, s.bestAvail)
 			plan.TotalReward += bestR
 		}
 	}
