@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test test-race chaos obsv bench bench-json fuzz cover
+.PHONY: check lint vet build test test-race chaos obsv bench bench-json overload fuzz cover
 
 check: vet build test-race
 
@@ -64,6 +64,17 @@ bench:
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) run ./cmd/schemble-bench -out BENCH_dp.json $(BENCH_FLAGS)
+
+# overload runs cmd/schemble-overload — the multi-class flash-crowd soak
+# at 1x/2x/5x of bottleneck capacity — and writes the BENCH_overload.json
+# robustness-trajectory file. The run itself gates on priority-ordered
+# shedding and the gold class's 5x SLO floor; CI runs it as
+#   make overload OVERLOAD_FLAGS="-quick -baseline BENCH_overload.json"
+# which additionally fails on a gold-SLO regression against the committed
+# baseline (read before the file is rewritten).
+OVERLOAD_FLAGS ?=
+overload:
+	$(GO) run ./cmd/schemble-overload -out BENCH_overload.json $(OVERLOAD_FLAGS)
 
 # Short coverage-guided fuzzing bursts over the scheduler and the HTTP
 # surface, seeded from testdata/fuzz. FUZZTIME=5m for a deeper local run;

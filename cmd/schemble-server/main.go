@@ -39,6 +39,41 @@ import (
 	"schemble/internal/serve"
 )
 
+// parseClasses turns the -classes flag into request classes. The format is
+// a comma list of name:priority:deadline[:weight] entries, e.g.
+// "gold:2:300ms:3,bronze:0:1s:1"; weight defaults to 1.
+func parseClasses(s string) ([]serve.Class, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []serve.Class
+	for i, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("entry %d (%q): want name:priority:deadline[:weight]", i, entry)
+		}
+		c := serve.Class{Name: parts[0], Weight: 1}
+		if c.Name == "" {
+			return nil, fmt.Errorf("entry %d: empty class name", i)
+		}
+		pr, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("entry %d (%q): bad priority: %v", i, entry, err)
+		}
+		c.Priority = pr
+		if c.Deadline, err = time.ParseDuration(parts[2]); err != nil {
+			return nil, fmt.Errorf("entry %d (%q): bad deadline: %v", i, entry, err)
+		}
+		if len(parts) == 4 {
+			if c.Weight, err = strconv.ParseFloat(parts[3], 64); err != nil {
+				return nil, fmt.Errorf("entry %d (%q): bad weight: %v", i, entry, err)
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // parseReplicas turns the -replicas flag into a per-model pool-size
 // vector: empty means nil (one replica each), a single integer applies to
 // every model, and a comma list must name every model in order.
@@ -85,6 +120,9 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a task attempt fails transiently (0 = off)")
 	stragglerRate := flag.Float64("straggler-rate", 0, "chaos: probability a task attempt straggles at 8x latency (0 = off)")
 	crashMTBF := flag.Duration("crash-mtbf", 0, "chaos: mean time between replica crashes in virtual time (0 = off)")
+	classesFlag := flag.String("classes", "", "request classes as name:priority:deadline[:weight],... (e.g. gold:2:300ms:3,bronze:0:1s); empty = classless")
+	admCapacity := flag.Float64("admission-capacity", 0, "admission-controller capacity in queries per virtual second (0 = derive from the bottleneck model)")
+	admTarget := flag.Duration("admission-target", 0, "backlog drain-time target in virtual time; load 1.0 means the backlog drains in exactly this long (0 = default 500ms)")
 	traceBuffer := flag.Int("trace-buffer", 512, "decision traces kept for /v1/trace (0 disables tracing and the latency histograms)")
 	traceLog := flag.String("trace-log", "", "append decision traces as JSONL serving-log records to this file (implies observability on)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty = off)")
@@ -155,6 +193,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-replicas: %v\n", err)
 		os.Exit(2)
 	}
+	classes, err := parseClasses(*classesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-classes: %v\n", err)
+		os.Exit(2)
+	}
 	rt := serve.New(serve.Config{
 		Ensemble:   arts.Ensemble,
 		Scheduler:  &core.DP{Delta: 0.01},
@@ -168,8 +211,10 @@ func main() {
 			MaxLinger: *batchLinger,
 			Curve:     model.BatchCurve{Marginal: *batchMarginal},
 		},
-		Seed:   *seed,
-		Faults: faults,
+		Classes:   classes,
+		Admission: serve.AdmissionConfig{Capacity: *admCapacity, Target: *admTarget},
+		Seed:      *seed,
+		Faults:    faults,
 		// Mitigations stay on even without injection: they also cover
 		// panics and real stragglers, and degrade at the deadline instead
 		// of missing outright.
@@ -184,6 +229,13 @@ func main() {
 	if replicas != nil || *batchMax > 1 {
 		fmt.Fprintf(os.Stderr, "replica pools: %v  micro-batching: max=%d linger=%v\n",
 			replicas, *batchMax, *batchLinger)
+	}
+	if len(classes) > 0 {
+		names := make([]string, len(classes))
+		for i, c := range classes {
+			names[i] = fmt.Sprintf("%s(p%d,%v)", c.Name, c.Priority, c.Deadline)
+		}
+		fmt.Fprintf(os.Stderr, "request classes: %s\n", strings.Join(names, " "))
 	}
 	h := httpserve.New(httpserve.Config{
 		Server:    rt,

@@ -1,10 +1,14 @@
 // Command tracegen generates query arrival traces as CSV on stdout:
-// columns sample_idx, arrival_us, deadline_us.
+// columns sample_idx, arrival_us, deadline_us, class (class is empty for
+// classless kinds).
 //
 // Usage:
 //
 //	tracegen -kind oneday -deadline 100ms > day.csv
 //	tracegen -kind poisson -rate 40 -n 5000 -deadline 150ms > burst.csv
+//	tracegen -kind flashcrowd -rate 20 -peak 5 -horizon 60s \
+//	    -classmix "gold:0.2:300ms,silver:0.3:300ms,bronze:0.5:500ms" > crowd.csv
+//	tracegen -kind burst -rate 5 -burst-size 40 -burst-period 5s > bursts.csv
 package main
 
 import (
@@ -12,23 +16,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"schemble/internal/dataset"
 	"schemble/internal/trace"
 )
 
+// parseClassMix turns the -classmix flag into a class mixture. The format
+// is a comma list of name:share:deadline entries, e.g.
+// "gold:0.2:300ms,bronze:0.8:1s".
+func parseClassMix(s string) ([]trace.ClassMix, error) {
+	var out []trace.ClassMix
+	for i, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("entry %d (%q): want name:share:deadline", i, entry)
+		}
+		share, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d (%q): bad share: %v", i, entry, err)
+		}
+		dl, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("entry %d (%q): bad deadline: %v", i, entry, err)
+		}
+		out = append(out, trace.ClassMix{Name: parts[0], Share: share, Deadline: dl})
+	}
+	return out, nil
+}
+
 func main() {
-	kind := flag.String("kind", "poisson", "poisson | oneday")
-	rate := flag.Float64("rate", 40, "poisson: arrivals per second")
+	kind := flag.String("kind", "poisson", "poisson | oneday | flashcrowd | burst")
+	rate := flag.Float64("rate", 40, "poisson/flashcrowd/burst: background arrivals per second")
 	n := flag.Int("n", 5000, "poisson: number of arrivals")
-	deadline := flag.Duration("deadline", 100*time.Millisecond, "constant relative deadline")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "constant relative deadline (poisson/oneday)")
 	hourSeconds := flag.Float64("hourseconds", 8, "oneday: virtual seconds per hour")
+	horizon := flag.Duration("horizon", 60*time.Second, "flashcrowd/burst: trace length")
+	classMix := flag.String("classmix", "gold:0.2:300ms,silver:0.3:300ms,bronze:0.5:500ms",
+		"flashcrowd/burst: class mixture as name:share:deadline,...")
+	peak := flag.Float64("peak", 5, "flashcrowd: peak rate as a multiple of -rate")
+	crowdClass := flag.String("crowd-class", "", "flashcrowd: class the crowd arrives as (empty = last class in -classmix)")
+	burstSize := flag.Int("burst-size", 40, "burst: simultaneous arrivals per burst, split across classes by share")
+	burstPeriod := flag.Duration("burst-period", 5*time.Second, "burst: spacing between bursts")
+	burstJitter := flag.Duration("burst-jitter", 0, "burst: uniform jitter applied to each burst instant")
 	pool := flag.Int("pool", 2000, "sample pool size")
 	seed := flag.Uint64("seed", 7, "seed")
 	flag.Parse()
 
 	samples := dataset.TextMatching(dataset.Config{N: *pool, Seed: *seed}).Samples
+	mix, err := parseClassMix(*classMix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-classmix: %v\n", err)
+		os.Exit(2)
+	}
 	var tr *trace.Trace
 	switch *kind {
 	case "poisson":
@@ -43,6 +85,27 @@ func main() {
 			HourSeconds: *hourSeconds,
 			Seed:        *seed,
 		})
+	case "flashcrowd":
+		tr = trace.FlashCrowd(trace.FlashCrowdConfig{
+			BackgroundRate: *rate,
+			Classes:        mix,
+			CrowdClass:     *crowdClass,
+			PeakFactor:     *peak,
+			Horizon:        *horizon,
+			Samples:        samples,
+			Seed:           *seed,
+		})
+	case "burst":
+		tr = trace.MultiClassBurst(trace.MultiClassBurstConfig{
+			BackgroundRate: *rate,
+			Classes:        mix,
+			BurstSize:      *burstSize,
+			Period:         *burstPeriod,
+			Jitter:         *burstJitter,
+			Horizon:        *horizon,
+			Samples:        samples,
+			Seed:           *seed,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
 		os.Exit(2)
@@ -50,10 +113,10 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintln(w, "sample_idx,arrival_us,deadline_us")
+	fmt.Fprintln(w, "sample_idx,arrival_us,deadline_us,class")
 	for _, a := range tr.Arrivals {
-		fmt.Fprintf(w, "%d,%d,%d\n", a.SampleIdx,
-			a.At.Microseconds(), a.Deadline.Microseconds())
+		fmt.Fprintf(w, "%d,%d,%d,%s\n", a.SampleIdx,
+			a.At.Microseconds(), a.Deadline.Microseconds(), a.Class)
 	}
 	fmt.Fprintf(os.Stderr, "generated %d arrivals over %v\n", tr.N(), tr.Horizon)
 }

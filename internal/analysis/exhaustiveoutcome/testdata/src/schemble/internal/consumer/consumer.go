@@ -52,3 +52,51 @@ var seed = trace{Outcome: obsv.OutcomeServed}
 
 // names uses an outcome as a map VALUE, not a key: also not a dispatch.
 var names = map[int]string{1: obsv.OutcomeServed}
+
+// classCounters mirrors the serving runtime's per-class outcome counters:
+// dispatch sites that pick a class counter by outcome must stay
+// exhaustive too.
+type classCounters struct {
+	served, degraded, missed, rejected uint64
+}
+
+// ClassPartial picks a per-class counter but forgets rejections.
+func ClassPartial(c *classCounters, o string) uint64 {
+	switch o { // want "switch over the outcome taxonomy is missing OutcomeRejected"
+	case obsv.OutcomeServed:
+		return c.served
+	case obsv.OutcomeDegraded:
+		return c.degraded
+	case obsv.OutcomeMissed:
+		return c.missed
+	}
+	return 0
+}
+
+// ClassFull renders one metric line per (class, outcome) pair — the
+// /v1/metrics shape — and must stay clean.
+func ClassFull(classes []classCounters, outcomes []string) uint64 {
+	var total uint64
+	for _, c := range classes {
+		for _, o := range outcomes {
+			switch o {
+			case obsv.OutcomeServed:
+				total += c.served
+			case obsv.OutcomeDegraded:
+				total += c.degraded
+			case obsv.OutcomeMissed:
+				total += c.missed
+			case obsv.OutcomeRejected:
+				total += c.rejected
+			}
+		}
+	}
+	return total
+}
+
+// classSheddable is a per-class dispatch literal with a hole: mapping
+// each outcome to whether the admission controller may cause it.
+var classSheddable = map[string]bool{ // want "composite literal over the outcome taxonomy is missing OutcomeDegraded, OutcomeMissed"
+	obsv.OutcomeServed:   false,
+	obsv.OutcomeRejected: true,
+}

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -41,8 +42,15 @@ import (
 type PredictRequest struct {
 	// SampleID selects the input from the serving pool.
 	SampleID int `json:"sample_id"`
-	// DeadlineMS is the relative deadline in (virtual) milliseconds.
+	// DeadlineMS is the relative deadline in (virtual) milliseconds; when
+	// omitted and Class names a configured request class, the class's
+	// deadline applies.
 	DeadlineMS float64 `json:"deadline_ms"`
+	// Class selects the request class (admission priority, default
+	// deadline). The X-Schemble-Class header overrides it. Unknown or
+	// empty names fall back to the configured default class; ignored on
+	// classless deployments.
+	Class string `json:"class,omitempty"`
 }
 
 // PredictResponse is the inference outcome.
@@ -110,6 +118,29 @@ type RuntimeStats struct {
 	BatchSizes [][]uint64    `json:"batch_sizes,omitempty"`
 	Models     []ModelHealth `json:"models"`
 	Draining   bool          `json:"draining"`
+	// Load is the admission controller's smoothed pressure estimate (~1 at
+	// the target backlog); Ladder/LadderState describe the degradation
+	// rung; Classes carries per-class outcome counters and SLO attainment
+	// (omitted on classless deployments).
+	Load        float64      `json:"load"`
+	Ladder      int          `json:"ladder"`
+	LadderState string       `json:"ladder_state"`
+	Classes     []ClassStats `json:"classes,omitempty"`
+}
+
+// ClassStats mirrors serve.ClassStats for the JSON API.
+type ClassStats struct {
+	Name          string  `json:"name"`
+	Priority      int     `json:"priority"`
+	Weight        float64 `json:"weight"`
+	Level         string  `json:"level"`
+	Submitted     uint64  `json:"submitted"`
+	Served        uint64  `json:"served"`
+	Degraded      uint64  `json:"degraded"`
+	Missed        uint64  `json:"missed"`
+	Rejected      uint64  `json:"rejected"`
+	Shed          uint64  `json:"shed"`
+	SLOAttainment float64 `json:"slo_attainment"`
 }
 
 // ModelHealth mirrors serve.ModelHealth for the JSON API.
@@ -239,12 +270,19 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown sample id %d", req.SampleID), http.StatusNotFound)
 		return
 	}
-	if req.DeadlineMS <= 0 {
+	class := req.Class
+	if hd := r.Header.Get("X-Schemble-Class"); hd != "" {
+		class = hd
+	}
+	// A missing deadline is an error only when nothing can default it: on
+	// classed deployments even an empty class resolves to the default
+	// class and inherits its deadline.
+	if req.DeadlineMS < 0 || (req.DeadlineMS <= 0 && class == "" && !h.srv.Classed()) {
 		http.Error(w, "deadline_ms must be positive", http.StatusBadRequest)
 		return
 	}
 	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
-	ch := h.srv.Submit(sample, deadline)
+	ch := h.srv.SubmitClass(sample, deadline, class)
 	var res serve.Result
 	select {
 	case res = <-ch:
@@ -272,8 +310,11 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Rejected {
 		// Load shedding, not a scheduling miss: tell clients and load
-		// balancers to back off and retry elsewhere or later.
-		w.Header().Set("Retry-After", "1")
+		// balancers to back off and retry elsewhere or later. The hint is
+		// derived from the admission controller's load estimate, so it
+		// grows with the backlog instead of hammering an overloaded server
+		// with fixed 1s retries.
+		w.Header().Set("Retry-After", strconv.Itoa(h.srv.RetryAfterSeconds()))
 		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
 		return
 	}
@@ -349,8 +390,36 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 		BatchSizes:  rt.BatchSizes,
 		Models:      modelHealth(rt),
 		Draining:    rt.Draining,
+		Load:        rt.Load,
+		Ladder:      rt.Ladder,
+		LadderState: rt.LadderState,
+		Classes:     classStats(rt),
 	}
 	writeJSON(w, out)
+}
+
+// classStats converts the runtime's per-class snapshot to the JSON shape.
+func classStats(rt serve.Stats) []ClassStats {
+	if len(rt.Classes) == 0 {
+		return nil
+	}
+	out := make([]ClassStats, len(rt.Classes))
+	for i, c := range rt.Classes {
+		out[i] = ClassStats{
+			Name:          c.Name,
+			Priority:      c.Priority,
+			Weight:        c.Weight,
+			Level:         c.Level,
+			Submitted:     c.Submitted,
+			Served:        c.Served,
+			Degraded:      c.Degraded,
+			Missed:        c.Missed,
+			Rejected:      c.Rejected,
+			Shed:          c.Shed,
+			SLOAttainment: c.SLOAttainment,
+		}
+	}
+	return out
 }
 
 // modelHealth converts the runtime's per-model snapshot to the JSON shape.

@@ -82,6 +82,11 @@ func (h *Handler) handleMetrics(w http.ResponseWriter) {
 	writeHeader(&b, "schemble_draining", "gauge", "1 while the runtime is draining.")
 	fmt.Fprintf(&b, "schemble_draining %d\n", boolGauge(rt.Draining))
 
+	writeHeader(&b, "schemble_load", "gauge", "Smoothed overload-controller pressure (~1 at the target backlog).")
+	fmt.Fprintf(&b, "schemble_load %g\n", rt.Load)
+	writeHeader(&b, "schemble_ladder_state", "gauge", "Degradation-ladder rung (0 = full service).")
+	fmt.Fprintf(&b, "schemble_ladder_state %d\n", rt.Ladder)
+	writeClassMetrics(&b, rt)
 	writeModelMetrics(&b, rt)
 	writeObserverMetrics(&b, h.srv.Observer())
 
@@ -98,6 +103,57 @@ func boolGauge(v bool) int {
 		return 1
 	}
 	return 0
+}
+
+// writeClassMetrics renders per-class admission/outcome metrics; classless
+// deployments render nothing.
+func writeClassMetrics(b *strings.Builder, rt serve.Stats) {
+	if len(rt.Classes) == 0 {
+		return
+	}
+	writeHeader(b, "schemble_class_requests_total", "counter", "Resolved requests by class and outcome.")
+	for _, c := range rt.Classes {
+		for _, outcome := range obsv.Outcomes {
+			// Exhaustive over the taxonomy (enforced by the
+			// exhaustiveoutcome analyzer): a new outcome must pick its
+			// per-class counter here to appear in /v1/metrics.
+			var v uint64
+			switch outcome {
+			case obsv.OutcomeServed:
+				v = c.Served
+			case obsv.OutcomeDegraded:
+				v = c.Degraded
+			case obsv.OutcomeMissed:
+				v = c.Missed
+			case obsv.OutcomeRejected:
+				v = c.Rejected
+			}
+			fmt.Fprintf(b, "schemble_class_requests_total{class=%q,outcome=%q} %d\n", c.Name, outcome, v)
+		}
+	}
+	writeHeader(b, "schemble_class_shed_total", "counter", "Requests shed by the admission controller, by class (a subset of rejected).")
+	for _, c := range rt.Classes {
+		fmt.Fprintf(b, "schemble_class_shed_total{class=%q} %d\n", c.Name, c.Shed)
+	}
+	writeHeader(b, "schemble_class_slo_attainment", "gauge", "Fraction of completed requests that met the deadline, by class.")
+	for _, c := range rt.Classes {
+		fmt.Fprintf(b, "schemble_class_slo_attainment{class=%q} %g\n", c.Name, c.SLOAttainment)
+	}
+	writeHeader(b, "schemble_class_service_level", "gauge", "Degradation level by class (0 full, 1 capped, 2 greedy, 3 shed).")
+	for _, c := range rt.Classes {
+		var lvl int
+		switch c.Level {
+		case "full":
+			lvl = 0
+		case "capped":
+			lvl = 1
+		case "greedy":
+			lvl = 2
+		case "shed":
+			lvl = 3
+		}
+		fmt.Fprintf(b, "schemble_class_service_level{class=%q} %d\n", c.Name, lvl)
+	}
 }
 
 // writeModelMetrics renders per-model health: queue depth gauges, the

@@ -24,6 +24,7 @@ type recordJSON struct {
 	Degraded   bool    `json:"degraded,omitempty"`
 	Agreement  float64 `json:"agreement"`
 	Subset     []int   `json:"subset,omitempty"`
+	Class      string  `json:"class,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -40,6 +41,7 @@ func (r Record) MarshalJSON() ([]byte, error) {
 		Degraded:   r.Degraded,
 		Agreement:  r.Agreement,
 		Subset:     r.Subset.Models(),
+		Class:      r.Class,
 	})
 }
 
@@ -59,6 +61,7 @@ func (r *Record) UnmarshalJSON(data []byte) error {
 	r.Rejected = w.Rejected
 	r.Degraded = w.Degraded
 	r.Agreement = w.Agreement
+	r.Class = w.Class
 	r.Subset = ensemble.Empty
 	for _, k := range w.Subset {
 		r.Subset = r.Subset.With(k)

@@ -37,6 +37,8 @@ type Record struct {
 	Agreement float64
 	// Subset is the executed model subset (Empty when missed).
 	Subset ensemble.Subset
+	// Class is the query's request-class name; empty for classless runs.
+	Class string
 }
 
 // Latency returns the query's response time (0 when missed).

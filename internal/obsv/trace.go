@@ -39,6 +39,11 @@ type DecisionTrace struct {
 	ID       uint64
 	SampleID int
 	CameraID int
+	// Class is the request's class name (empty for classless configs);
+	// Ladder is the degradation-ladder rung the controller sat on when the
+	// request was admitted (0 = full service).
+	Class  string
+	Ladder int
 	// Score is the predicted discrepancy score the scheduler planned with.
 	Score float64
 
@@ -84,6 +89,8 @@ type traceJSON struct {
 	ID           uint64        `json:"id"`
 	SampleID     int           `json:"sample_id"`
 	CameraID     int           `json:"camera_id,omitempty"`
+	Class        string        `json:"class,omitempty"`
+	Ladder       int           `json:"ladder,omitempty"`
 	Score        float64       `json:"score"`
 	QueuedUS     int64         `json:"queued_us"`
 	ScoredUS     int64         `json:"scored_us,omitempty"`
@@ -110,6 +117,8 @@ func (t DecisionTrace) MarshalJSON() ([]byte, error) {
 		ID:           t.ID,
 		SampleID:     t.SampleID,
 		CameraID:     t.CameraID,
+		Class:        t.Class,
+		Ladder:       t.Ladder,
 		Score:        t.Score,
 		QueuedUS:     t.Queued.Microseconds(),
 		ScoredUS:     t.Scored.Microseconds(),
@@ -147,6 +156,8 @@ func (t *DecisionTrace) UnmarshalJSON(data []byte) error {
 		ID:           w.ID,
 		SampleID:     w.SampleID,
 		CameraID:     w.CameraID,
+		Class:        w.Class,
+		Ladder:       w.Ladder,
 		Score:        w.Score,
 		Queued:       time.Duration(w.QueuedUS) * time.Microsecond,
 		Scored:       time.Duration(w.ScoredUS) * time.Microsecond,
@@ -182,6 +193,7 @@ func (t DecisionTrace) Record() metrics.Record {
 		QueryID:  int(t.ID),
 		SampleID: t.SampleID,
 		CameraID: t.CameraID,
+		Class:    t.Class,
 		Arrival:  t.Queued,
 		Deadline: t.Deadline,
 		Subset:   ensemble.Empty,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"schemble/internal/core"
+	"schemble/internal/qos"
 	"schemble/internal/sim"
 	"schemble/internal/trace"
 )
@@ -100,5 +101,95 @@ func TestSimServeEquivalence(t *testing.T) {
 	if st.Degraded != 0 || st.Rejected != 0 {
 		t.Errorf("faultless equivalence run produced degraded=%d rejected=%d",
 			st.Degraded, st.Rejected)
+	}
+}
+
+// TestSimServeEquivalenceClassed extends the cross-engine contract to
+// classed traces: both engines share the internal/qos controller, so
+// given the same classes, the same spaced arrivals (far below the
+// admission gate — no shedding, ladder at full service) and deadlines
+// inherited from each class, they must default deadlines identically and
+// commit every query to the same subset with the same outcome.
+func TestSimServeEquivalenceClassed(t *testing.T) {
+	a := artifacts(t)
+	classes := []qos.Class{
+		{Name: "slow", Priority: 2, Deadline: 300 * time.Millisecond, Weight: 2},
+		{Name: "mid", Priority: 1, Deadline: 60 * time.Millisecond, Weight: 1},
+		{Name: "tight", Priority: 0, Deadline: 10 * time.Millisecond, Weight: 1},
+	}
+	const spacing = 400 * time.Millisecond
+	names := []string{
+		"slow", "mid", "slow", "tight", "slow", "mid",
+		"slow", "slow", "tight", "mid", "slow", "slow",
+	}
+	tr := &trace.Trace{}
+	for i, name := range names {
+		// No trace deadline: both engines must apply the class default.
+		tr.Arrivals = append(tr.Arrivals, trace.Arrival{
+			SampleIdx: i, At: time.Duration(i) * spacing, Class: name,
+		})
+	}
+
+	recs := sim.Run(sim.Config{
+		Ensemble:  a.Ensemble,
+		Refs:      a.Refs,
+		Scorer:    a.Scorer,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		Classes:   classes,
+		Seed:      1,
+	}, tr, a.Serve)
+
+	const scale = 0.2
+	s := New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: scale,
+		Classes:   classes,
+		Seed:      1,
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+	chans := make([]<-chan Result, len(names))
+	for i, name := range names {
+		// Zero deadline: the runtime must fall back to the class default,
+		// exactly as the simulator did.
+		chans[i] = s.SubmitClass(a.Serve[i], 0, name)
+		//schemble:sleep-ok trace pacing: the equivalence contract requires each arrival to meet an idle fleet, exactly as in the simulated trace
+		time.Sleep(time.Duration(float64(spacing) * scale))
+	}
+
+	for i := range names {
+		var res Result
+		select {
+		case res = <-chans[i]:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("query %d never resolved in the runtime", i)
+		}
+		rec := recs[i]
+		if rec.Class != names[i] {
+			t.Errorf("query %d: simulator recorded class %q, want %q", i, rec.Class, names[i])
+		}
+		if res.Subset != rec.Subset {
+			t.Errorf("query %d (class %s): runtime subset %v, simulator subset %v",
+				i, names[i], res.Subset.Models(), rec.Subset.Models())
+		}
+		if res.Missed != rec.Missed {
+			t.Errorf("query %d (class %s): runtime missed=%v, simulator missed=%v",
+				i, names[i], res.Missed, rec.Missed)
+		}
+		// The tight class's 10ms default is infeasible for every subset;
+		// both engines must agree it misses, and only it.
+		if want := names[i] == "tight"; rec.Missed != want {
+			t.Errorf("query %d (class %s): simulator missed=%v, fixture expects %v",
+				i, names[i], rec.Missed, want)
+		}
+	}
+	st := s.Stats()
+	if st.Rejected != 0 {
+		t.Errorf("spaced classed run shed %d requests", st.Rejected)
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"schemble/internal/ensemble"
 	"schemble/internal/model"
 	"schemble/internal/obsv"
+	"schemble/internal/qos"
 	"schemble/internal/rng"
 )
 
@@ -107,6 +108,19 @@ type Config struct {
 	// value disables every hook and keeps the hot path bit-identical
 	// (observability never draws from the runtime's RNG).
 	Obs obsv.Config
+
+	// Classes declares the request classes (tenant/priority tiers) and
+	// switches the runtime into classed mode: SubmitClass selects a class
+	// per request, class deadlines back requests submitted without one,
+	// and under overload the admission controller sheds and degrades the
+	// lowest-priority classes first (see qos). Empty (the default) keeps
+	// the runtime classless and bit-identical to the pre-class design —
+	// only the load estimator runs, feeding RetryAfterSeconds.
+	Classes []Class
+	// Admission tunes the overload controller; the zero value means
+	// defaults, with service capacity derived from the deployed models'
+	// mean latencies and replica counts.
+	Admission AdmissionConfig
 }
 
 // Result is the outcome of one request.
@@ -122,10 +136,12 @@ type Result struct {
 	// event-loop or model-queue saturation, draining, or already stopped —
 	// rather than failing to meet its deadline. Rejected implies Missed.
 	Rejected bool
-	// Degraded is true when the request was served (Missed is false) from
-	// a non-empty strict subset of its committed models — the rest failed
-	// or were still running at the deadline. Degraded results always carry
-	// at least one real model output.
+	// Degraded is true when the request was served (Missed is false) with
+	// reduced quality: from a non-empty strict subset of its committed
+	// models (the rest failed or were still running at the deadline), or
+	// from a plan the degradation ladder capped because the request's
+	// class was above full service at commit time. Degraded results
+	// always carry at least one real model output.
 	Degraded bool
 	Latency  time.Duration
 }
@@ -149,6 +165,13 @@ type request struct {
 	arrived  time.Time
 	deadline time.Time
 	score    float64
+
+	// class is the request's class index (-1 when the runtime is
+	// classless); level is the degradation-ladder service level the
+	// request was committed at (written under mu at commit time — a
+	// committed level above LevelFull marks the result Degraded).
+	class int
+	level qos.Level
 
 	mu        sync.Mutex
 	state     reqState
@@ -261,6 +284,17 @@ type Server struct {
 	obs    *obsv.Observer
 	reqSeq atomic.Uint64
 
+	// qosCtl is the overload controller: load estimator, degradation
+	// ladder, and (in classed mode) per-class admission. Always non-nil;
+	// classless configs get an estimator-only controller that admits
+	// everything. classStats holds per-class outcome counters (nil when
+	// classless); degradedSched plans LevelGreedy classes with a cheap
+	// greedy planner — a dedicated instance, since scheduler scratch is
+	// not shareable with cfg.Scheduler.
+	qosCtl        *qos.Controller
+	classStats    []classCounters
+	degradedSched *core.Greedy
+
 	// Health counters behind the Stats snapshot. buffered/inflight mirror
 	// the coordinator's private structures.
 	nSubmitted atomic.Uint64
@@ -357,6 +391,17 @@ type Stats struct {
 	// Models[k] is model k's fault/mitigation health.
 	Models   []ModelHealth
 	Draining bool
+
+	// Load is the overload controller's smoothed pressure estimate (~0
+	// idle, 1 at the target backlog); Ladder is the degradation ladder's
+	// current rung and LadderState its name ("full-service",
+	// "degrade-N"). Classes holds per-class outcome counters and SLO
+	// attainment, in declaration order; nil when the runtime is
+	// classless.
+	Load        float64
+	Ladder      int
+	LadderState string
+	Classes     []ClassStats
 }
 
 // Healthy reports whether every model is schedulable: no breaker open and
@@ -411,6 +456,15 @@ func New(cfg Config) *Server {
 		s.replicas[k] = r
 		s.rstats[k] = make([]replicaCounters, r)
 	}
+	adm := cfg.Admission
+	if adm.Capacity <= 0 {
+		adm.Capacity = bottleneckCapacity(cfg.Ensemble, s.replicas)
+	}
+	s.qosCtl = qos.New(qos.Config{Classes: cfg.Classes, Tuning: adm})
+	if len(cfg.Classes) > 0 {
+		s.classStats = make([]classCounters, len(cfg.Classes))
+		s.degradedSched = &core.Greedy{Order: core.EDF}
+	}
 	if maxBatch > 1 {
 		s.batchHist = make([][]atomic.Uint64, m)
 		for k := range s.batchHist {
@@ -442,6 +496,29 @@ func New(cfg Config) *Server {
 		s.faulty[k] = model.NewFaulty(md, fc)
 	}
 	return s
+}
+
+// bottleneckCapacity estimates the fleet's sustainable full-ensemble
+// service rate in requests per virtual second: the slowest model's pool
+// throughput, min over k of replicas[k] / meanLatency[k]. This is the
+// admission controller's default Capacity; an explicit
+// AdmissionConfig.Capacity overrides it.
+func bottleneckCapacity(e *ensemble.Ensemble, replicas []int) float64 {
+	capacity := 0.0
+	for k, md := range e.Models {
+		lat := md.MeanLatency().Seconds()
+		if lat <= 0 {
+			continue
+		}
+		c := float64(replicas[k]) / lat
+		if capacity <= 0 || c < capacity {
+			capacity = c
+		}
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return capacity
 }
 
 // Start launches the workers and the coordinator. It returns immediately;
@@ -549,6 +626,13 @@ func (s *Server) Stats() Stats {
 		Draining:    draining,
 	}
 	st.Resolved = st.Served + st.Degraded + st.Missed + st.Rejected
+	load, ladder, snaps := s.qosCtl.Snapshot()
+	st.Load = load
+	st.Ladder = ladder
+	st.LadderState = qos.LadderName(ladder)
+	if s.classStats != nil {
+		st.Classes = s.classStatsFrom(snaps)
+	}
 	for k, ch := range s.taskCh {
 		st.QueueDepth[k] = len(ch)
 		st.Forming[k] = int(s.forming[k].Load())
@@ -639,13 +723,28 @@ func (s *Server) alternatives(score float64) []obsv.Alternative {
 // returned channel always receives exactly one Result: immediately (with
 // Rejected set) when the event loop is saturated or the server is draining
 // or stopped, otherwise when the request completes, misses its deadline,
-// or the runtime shuts down.
+// or the runtime shuts down. In classed mode the request lands in the
+// lowest-priority class (the untagged-traffic default).
 func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan Result {
+	return s.SubmitClass(sample, deadline, "")
+}
+
+// SubmitClass is Submit with an explicit request class (by name; unknown
+// or empty names map to the lowest-priority class). A non-positive
+// deadline means the class's configured default deadline. Under overload
+// the admission controller may reject the request up front (Rejected set,
+// shed from the lowest-priority / over-quota classes first — never at
+// random); classless servers ignore the class entirely.
+func (s *Server) SubmitClass(sample *dataset.Sample, deadline time.Duration, class string) <-chan Result {
 	s.lifeMu.Lock()
 	ctx, draining := s.ctx, s.draining
 	s.lifeMu.Unlock()
 	if ctx == nil {
 		panic("serve: Submit before Start")
+	}
+	ci := s.qosCtl.ClassIndex(class)
+	if ci >= 0 && deadline <= 0 {
+		deadline = s.qosCtl.Class(ci).Deadline
 	}
 	//schemble:wallclock arrival is wall-anchored; deadlines and virtual timestamps are derived from it via the configured TimeScale
 	now := time.Now()
@@ -653,6 +752,7 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 		sample:   sample,
 		arrived:  now,
 		deadline: now.Add(time.Duration(float64(deadline) * s.scale)),
+		class:    ci,
 		done:     make(chan Result, 1),
 	}
 	if s.obs != nil {
@@ -664,9 +764,23 @@ func (s *Server) Submit(sample *dataset.Sample, deadline time.Duration) <-chan R
 			Queued:   queued,
 			Deadline: queued + deadline,
 		}
+		if ci >= 0 {
+			req.tr.Class = s.qosCtl.Class(ci).Name
+			req.tr.Ladder = s.qosCtl.Ladder()
+		}
 	}
 	s.nSubmitted.Add(1)
+	if ci >= 0 {
+		s.classStats[ci].submitted.Add(1)
+	}
 	if draining || ctx.Err() != nil {
+		s.resolve(req, Result{Missed: true, Rejected: true})
+		return req.done
+	}
+	if ci >= 0 && !s.qosCtl.Admit(time.Duration(float64(now.Sub(s.start))/s.scale), ci) {
+		// Admission-controlled shed: an explicit rejection decided by
+		// class quota and ladder state, before any scoring work.
+		s.classStats[ci].shed.Add(1)
 		s.resolve(req, Result{Missed: true, Rejected: true})
 		return req.done
 	}
@@ -1006,6 +1120,11 @@ func (s *Server) coordinate(ctx context.Context) {
 		return time.Duration(float64(time.Since(r.arrived)) / s.scale)
 	}
 
+	// lastSlack is the fraction of the previous planning pass's buffer the
+	// scheduler left unplaced — the controller's "capacity exhausted"
+	// signal alongside the raw backlog.
+	lastSlack := 0.0
+
 	dispatch := func() {
 		// Shed requests that resolved while buffered (direct deadline
 		// delivery during saturation).
@@ -1016,11 +1135,21 @@ func (s *Server) coordinate(ctx context.Context) {
 			}
 		}
 		buffer = live
+		t := now()
+		// Feed the overload controller: outstanding work everywhere in the
+		// engine (buffer + model queues + forming batches) plus the last
+		// pass's scheduler slack. The estimate drives admission and
+		// Retry-After only — never the plan — so classless results are
+		// untouched.
+		backlog := len(buffer)
+		for k := range s.taskCh {
+			backlog += len(s.taskCh[k]) + int(s.forming[k].Load())
+		}
+		s.qosCtl.Observe(t, backlog, lastSlack)
 		if len(buffer) == 0 {
 			syncGauges()
 			return
 		}
-		t := now()
 		// Health consultation: models behind an open breaker or inside a
 		// crash-recovery window are pushed beyond any feasible deadline so
 		// the scheduler plans subsets around them.
@@ -1034,131 +1163,201 @@ func (s *Server) coordinate(ctx context.Context) {
 				}
 			}
 		}
-		avail := core.Capacity(busyUntil)
-		if blocked != ensemble.Empty {
-			avail = append(core.Capacity(nil), busyUntil...)
-			for _, k := range blocked.Models() {
-				slots := make([]time.Duration, len(busyUntil[k]))
-				for i := range slots {
-					slots[i] = t + blockHorizon
+		mkAvail := func() core.Capacity {
+			avail := core.Capacity(busyUntil)
+			if blocked != ensemble.Empty {
+				avail = append(core.Capacity(nil), busyUntil...)
+				for _, k := range blocked.Models() {
+					slots := make([]time.Duration, len(busyUntil[k]))
+					for i := range slots {
+						slots[i] = t + blockHorizon
+					}
+					avail[k] = slots
 				}
-				avail[k] = slots
 			}
+			return avail
 		}
-		infos := make([]core.QueryInfo, len(buffer))
-		for i, r := range buffer {
-			infos[i] = core.QueryInfo{
-				ID:       i,
-				Arrival:  time.Duration(float64(r.arrived.Sub(s.start)) / s.scale),
-				Deadline: time.Duration(float64(r.deadline.Sub(s.start)) / s.scale),
-				Score:    r.score,
+		mkInfos := func(idx []int) []core.QueryInfo {
+			infos := make([]core.QueryInfo, len(idx))
+			for pi, bi := range idx {
+				r := buffer[bi]
+				infos[pi] = core.QueryInfo{
+					ID:       pi,
+					Arrival:  time.Duration(float64(r.arrived.Sub(s.start)) / s.scale),
+					Deadline: time.Duration(float64(r.deadline.Sub(s.start)) / s.scale),
+					Score:    r.score,
+				}
 			}
+			return infos
 		}
-		plan := s.cfg.Scheduler.Schedule(t, infos, avail, exec, s.cfg.Rewarder)
-		var kept []*request
-		for i, r := range buffer {
-			// Unhealthy models are stripped even if the scheduler chose
-			// them; a subset emptied by the mask stays buffered.
-			sub := plan.Subset(i) &^ blocked
-			if sub == ensemble.Empty {
-				kept = append(kept, r)
-				continue
-			}
-			// Commit only when at least one chosen model has a free
-			// replica.
-			free := false
-		freeScan:
-			for _, k := range sub.Models() {
-				for _, slot := range busyUntil[k] {
-					if slot <= t {
-						free = true
-						break freeScan
+		// removed marks requests that left the buffer this pass (committed
+		// or rejected); everything else stays buffered.
+		removed := make(map[*request]bool)
+		commitGroup := func(idx []int, lvls []qos.Level, plan core.Plan) {
+			for pi, bi := range idx {
+				r := buffer[bi]
+				// Unhealthy models are stripped even if the scheduler chose
+				// them; a subset emptied by the mask stays buffered.
+				sub := plan.Subset(pi) &^ blocked
+				if sub == ensemble.Empty {
+					continue
+				}
+				if lvls != nil && lvls[pi] > qos.LevelFull {
+					// Degradation ladder: cap the planned subset to the
+					// class's service level, keeping the cheapest models.
+					sub = qos.TruncateSubset(sub, qos.SubsetCap(lvls[pi], m), exec)
+				}
+				// Commit only when at least one chosen model has a free
+				// replica.
+				free := false
+			freeScan:
+				for _, k := range sub.Models() {
+					for _, slot := range busyUntil[k] {
+						if slot <= t {
+							free = true
+							break freeScan
+						}
 					}
 				}
-			}
-			if !free {
-				kept = append(kept, r)
-				continue
-			}
-			// A saturated task queue means dispatch would leak: reject
-			// explicitly before committing anything. The coordinator is
-			// the channels' only sender, so this pre-flight check cannot
-			// race another producer.
-			saturated := false
-			for _, k := range sub.Models() {
-				if len(s.taskCh[k]) == cap(s.taskCh[k]) {
-					saturated = true
-					break
+				if !free {
+					continue
 				}
-			}
-			if saturated {
-				s.resolve(r, Result{Missed: true, Rejected: true})
-				continue
-			}
-			r.mu.Lock()
-			if r.state == stateResolved {
-				r.mu.Unlock()
-				continue
-			}
-			r.subset = sub
-			r.remaining = sub.Size()
-			r.outs = make([]model.Output, m)
-			r.state = stateCommitted
-			if r.tr != nil {
-				// Decision context: what the runtime looked like when the
-				// subset was locked in.
-				r.tr.Committed = t
-				r.tr.Subset = sub.Models()
-				r.tr.Alternatives = s.alternatives(r.score)
-				depths := make([]int, len(s.taskCh))
-				forming := make([]int, len(s.taskCh))
-				for k, ch := range s.taskCh {
-					depths[k] = len(ch)
-					forming[k] = int(s.forming[k].Load())
-				}
-				r.tr.QueueDepths = depths
-				r.tr.Forming = forming
-				// Per-model earliest replica availability: the capacity
-				// signal the scheduler keyed its feasibility checks on.
-				bu := make([]time.Duration, m)
-				for k, slots := range busyUntil {
-					bu[k] = minSlot(slots)
-				}
-				r.tr.BusyUntil = bu
-				r.tr.Blocked = blocked.Models()
-			}
-			r.mu.Unlock()
-			inflight[r] = true
-			for _, k := range sub.Models() {
-				// The task lands on the earliest-available replica slot,
-				// exactly the assumption the scheduler's capacity model
-				// (core.Capacity) made when it judged feasibility.
-				slot := 0
-				for i, v := range busyUntil[k] {
-					if v < busyUntil[k][slot] {
-						slot = i
+				// A saturated task queue means dispatch would leak: reject
+				// explicitly before committing anything. The coordinator is
+				// the channels' only sender, so this pre-flight check cannot
+				// race another producer.
+				saturated := false
+				for _, k := range sub.Models() {
+					if len(s.taskCh[k]) == cap(s.taskCh[k]) {
+						saturated = true
+						break
 					}
 				}
-				start := busyUntil[k][slot]
-				if start < t {
-					start = t
-				}
-				select {
-				case s.taskCh[k] <- &task{req: r, k: k}:
-					busyUntil[k][slot] = start + exec[k]
-					pending[k]++
-				default:
-					// Unreachable given the pre-flight check; if it ever
-					// happens, roll back instead of leaking: busyUntil is
-					// untouched for this model, inflight forgets the
-					// request, it resolves as rejected, and workers skip
-					// its already-queued sibling tasks.
-					delete(inflight, r)
+				if saturated {
+					removed[r] = true
 					s.resolve(r, Result{Missed: true, Rejected: true})
+					continue
 				}
+				r.mu.Lock()
+				if r.state == stateResolved {
+					r.mu.Unlock()
+					removed[r] = true
+					continue
+				}
+				r.subset = sub
+				r.remaining = sub.Size()
+				r.outs = make([]model.Output, m)
+				r.state = stateCommitted
+				if lvls != nil {
+					r.level = lvls[pi]
+				}
+				if r.tr != nil {
+					// Decision context: what the runtime looked like when the
+					// subset was locked in.
+					r.tr.Committed = t
+					r.tr.Subset = sub.Models()
+					r.tr.Alternatives = s.alternatives(r.score)
+					depths := make([]int, len(s.taskCh))
+					forming := make([]int, len(s.taskCh))
+					for k, ch := range s.taskCh {
+						depths[k] = len(ch)
+						forming[k] = int(s.forming[k].Load())
+					}
+					r.tr.QueueDepths = depths
+					r.tr.Forming = forming
+					// Per-model earliest replica availability: the capacity
+					// signal the scheduler keyed its feasibility checks on.
+					bu := make([]time.Duration, m)
+					for k, slots := range busyUntil {
+						bu[k] = minSlot(slots)
+					}
+					r.tr.BusyUntil = bu
+					r.tr.Blocked = blocked.Models()
+				}
+				r.mu.Unlock()
+				removed[r] = true
+				inflight[r] = true
+				for _, k := range sub.Models() {
+					// The task lands on the earliest-available replica slot,
+					// exactly the assumption the scheduler's capacity model
+					// (core.Capacity) made when it judged feasibility.
+					slot := 0
+					for i, v := range busyUntil[k] {
+						if v < busyUntil[k][slot] {
+							slot = i
+						}
+					}
+					start := busyUntil[k][slot]
+					if start < t {
+						start = t
+					}
+					select {
+					case s.taskCh[k] <- &task{req: r, k: k}:
+						busyUntil[k][slot] = start + exec[k]
+						pending[k]++
+					default:
+						// Unreachable given the pre-flight check; if it ever
+						// happens, roll back instead of leaking: busyUntil is
+						// untouched for this model, inflight forgets the
+						// request, it resolves as rejected, and workers skip
+						// its already-queued sibling tasks.
+						delete(inflight, r)
+						s.resolve(r, Result{Missed: true, Rejected: true})
+					}
+				}
+			}
+		}
+		if s.classStats == nil {
+			// Classless: one plan over the whole buffer with the configured
+			// scheduler — exactly the pre-class runtime.
+			idx := make([]int, len(buffer))
+			for i := range idx {
+				idx[i] = i
+			}
+			commitGroup(idx, nil, s.cfg.Scheduler.Schedule(t, mkInfos(idx), mkAvail(), exec, s.cfg.Rewarder))
+		} else {
+			// Classed: partition the buffer by the ladder's current service
+			// level. Full and capped classes keep the configured scheduler;
+			// greedy-level classes are planned afterwards — against whatever
+			// capacity the protected tiers left behind — with the cheap
+			// greedy planner. Requests whose class climbed to shed after
+			// they were admitted are clamped to greedy: admission decisions
+			// are not retroactive.
+			var mainIdx, degIdx []int
+			var mainLvl, degLvl []qos.Level
+			for i, r := range buffer {
+				lvl := s.qosCtl.Level(r.class)
+				if lvl > qos.LevelGreedy {
+					lvl = qos.LevelGreedy
+				}
+				if lvl == qos.LevelGreedy {
+					degIdx = append(degIdx, i)
+					degLvl = append(degLvl, lvl)
+				} else {
+					mainIdx = append(mainIdx, i)
+					mainLvl = append(mainLvl, lvl)
+				}
+			}
+			if len(mainIdx) > 0 {
+				commitGroup(mainIdx, mainLvl,
+					s.cfg.Scheduler.Schedule(t, mkInfos(mainIdx), mkAvail(), exec, s.cfg.Rewarder))
+			}
+			if len(degIdx) > 0 {
+				commitGroup(degIdx, degLvl,
+					s.degradedSched.Schedule(t, mkInfos(degIdx), mkAvail(), exec, s.cfg.Rewarder))
+			}
+		}
+		planned := len(buffer)
+		kept := buffer[:0]
+		for _, r := range buffer {
+			if !removed[r] {
+				kept = append(kept, r)
 			}
 		}
 		buffer = kept
+		if planned > 0 {
+			lastSlack = float64(len(buffer)) / float64(planned)
+		}
 		syncGauges()
 	}
 
@@ -1227,7 +1426,7 @@ func (s *Server) coordinate(ctx context.Context) {
 					delete(inflight, r)
 					syncGauges()
 					r.mu.Lock()
-					outs, okMask, sub, nfailed := r.outs, r.ok, r.subset, r.failed
+					outs, okMask, sub, nfailed, lvl := r.outs, r.ok, r.subset, r.failed, r.level
 					r.mu.Unlock()
 					if okMask == ensemble.Empty {
 						// Every task failed permanently: nothing to
@@ -1238,10 +1437,13 @@ func (s *Server) coordinate(ctx context.Context) {
 						//schemble:wallclock lateness is judged against the wall-clock deadline set at Submit
 						late := time.Now().After(r.deadline)
 						s.resolve(r, Result{
-							Output:   out,
-							Subset:   okMask,
-							Missed:   late,
-							Degraded: !late && nfailed > 0,
+							Output: out,
+							Subset: okMask,
+							Missed: late,
+							// Degraded: some committed tasks failed, or the
+							// degradation ladder served the class a reduced
+							// plan (level above full).
+							Degraded: !late && (nfailed > 0 || lvl > qos.LevelFull),
 							Latency:  latency(r),
 						})
 					}
@@ -1364,6 +1566,19 @@ func (s *Server) resolve(r *request, res Result) {
 		s.nDegraded.Add(1)
 	default:
 		s.nServed.Add(1)
+	}
+	if r.class >= 0 && s.classStats != nil {
+		cc := &s.classStats[r.class]
+		switch {
+		case res.Rejected:
+			cc.rejected.Add(1)
+		case res.Missed:
+			cc.missed.Add(1)
+		case res.Degraded:
+			cc.degraded.Add(1)
+		default:
+			cc.served.Add(1)
+		}
 	}
 	if trace != nil {
 		s.obs.Done(*trace)

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/ensemble"
+	"schemble/internal/qos"
+	"schemble/internal/trace"
+)
+
+func simClasses() []qos.Class {
+	return []qos.Class{
+		{Name: "gold", Priority: 2, Deadline: 400 * time.Millisecond, Weight: 3},
+		{Name: "silver", Priority: 1, Deadline: 400 * time.Millisecond, Weight: 2},
+		{Name: "bronze", Priority: 0, Deadline: 600 * time.Millisecond, Weight: 1},
+	}
+}
+
+func simClassMix() []trace.ClassMix {
+	return []trace.ClassMix{
+		{Name: "gold", Share: 0.2, Deadline: 400 * time.Millisecond},
+		{Name: "silver", Share: 0.3, Deadline: 400 * time.Millisecond},
+		{Name: "bronze", Share: 0.5, Deadline: 600 * time.Millisecond},
+	}
+}
+
+// TestSimClassedFlashCrowd drives a 5x flash crowd through the classed
+// simulator: the admission controller must shed strictly lowest-priority
+// first, every record must carry its class label, and the gold class must
+// keep its deadline-miss rate near zero while the crowd rages.
+func TestSimClassedFlashCrowd(t *testing.T) {
+	a := artifacts(t)
+	// Bottleneck capacity with single replicas is ~11 q/s; the crowd peaks
+	// at 5x the background.
+	tr := trace.FlashCrowd(trace.FlashCrowdConfig{
+		BackgroundRate: 11,
+		Classes:        simClassMix(),
+		PeakFactor:     5,
+		Horizon:        40 * time.Second,
+		Samples:        a.Serve,
+		Seed:           3,
+	})
+	cfg := schembleConfig(a)
+	cfg.Classes = simClasses()
+	recs := Run(cfg, tr, a.Serve)
+
+	type agg struct{ submitted, rejected, missed int }
+	byClass := map[string]*agg{}
+	for _, c := range simClasses() {
+		byClass[c.Name] = &agg{}
+	}
+	for _, r := range recs {
+		cs := byClass[r.Class]
+		if cs == nil {
+			t.Fatalf("record carries unknown class %q", r.Class)
+		}
+		cs.submitted++
+		if r.Rejected {
+			cs.rejected++
+		} else if r.Missed {
+			cs.missed++
+		}
+	}
+	shedRate := func(name string) float64 {
+		cs := byClass[name]
+		return float64(cs.rejected) / float64(cs.submitted)
+	}
+	dmr := func(name string) float64 {
+		cs := byClass[name]
+		return float64(cs.missed) / float64(cs.submitted-cs.rejected)
+	}
+	// The crowd overloads the fleet, so someone must be shed — and the
+	// shedding must be priority-ordered.
+	if shedRate("bronze") == 0 {
+		t.Fatal("5x flash crowd shed nothing")
+	}
+	if shedRate("gold") > shedRate("silver")+0.02 || shedRate("silver") > shedRate("bronze")+0.02 {
+		t.Errorf("shedding not priority-ordered: gold %.3f silver %.3f bronze %.3f",
+			shedRate("gold"), shedRate("silver"), shedRate("bronze"))
+	}
+	if d := dmr("gold"); d > 0.05 {
+		t.Errorf("gold deadline-miss rate %.3f under crowd, want near zero", d)
+	}
+
+	// Determinism: the classed path must replay bit-identically.
+	again := Run(cfg, tr, a.Serve)
+	if len(again) != len(recs) {
+		t.Fatal("classed replay changed record count")
+	}
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatalf("classed replay diverged at record %d", i)
+		}
+	}
+}
+
+// TestSimClassedUnknownClassDefaults maps unlabeled and unknown arrivals
+// to the lowest-priority class and applies that class's default deadline
+// when the trace does not set one.
+func TestSimClassedUnknownClassDefaults(t *testing.T) {
+	a := artifacts(t)
+	tr := &trace.Trace{Horizon: 4 * time.Second}
+	// Zero trace deadlines: the class default must apply.
+	tr.Arrivals = []trace.Arrival{
+		{SampleIdx: 0, At: 100 * time.Millisecond, Class: "gold"},
+		{SampleIdx: 1, At: 600 * time.Millisecond, Class: "no-such-class"},
+		{SampleIdx: 2, At: 1100 * time.Millisecond},
+	}
+	cfg := schembleConfig(a)
+	cfg.Classes = simClasses()
+	recs := Run(cfg, tr, a.Serve)
+	if recs[0].Class != "gold" || recs[0].Deadline != 500*time.Millisecond {
+		t.Errorf("gold arrival: class %q deadline %v", recs[0].Class, recs[0].Deadline)
+	}
+	// Unknown and empty names land in the default (lowest-priority) class.
+	for _, i := range []int{1, 2} {
+		if recs[i].Class != "bronze" {
+			t.Errorf("arrival %d: class %q, want bronze", i, recs[i].Class)
+		}
+		if got := recs[i].Deadline - recs[i].Arrival; got != 600*time.Millisecond {
+			t.Errorf("arrival %d: relative deadline %v, want class default 600ms", i, got)
+		}
+	}
+	for i, r := range recs {
+		if r.Missed {
+			t.Errorf("uncontended classed arrival %d missed", i)
+		}
+	}
+}
+
+// TestSimClassedRequiresBufferedMode locks the immediate-mode guard.
+func TestSimClassedRequiresBufferedMode(t *testing.T) {
+	a := artifacts(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Classes with Select did not panic")
+		}
+	}()
+	full := a.Ensemble.FullSubset()
+	Run(Config{
+		Ensemble: a.Ensemble,
+		Refs:     a.Refs,
+		Scorer:   a.Scorer,
+		Select:   func(*dataset.Sample) ensemble.Subset { return full },
+		Classes:  simClasses(),
+		Seed:     1,
+	}, &trace.Trace{Horizon: time.Second}, a.Serve)
+}

@@ -32,6 +32,7 @@ import (
 	"schemble/internal/ensemble"
 	"schemble/internal/metrics"
 	"schemble/internal/model"
+	"schemble/internal/qos"
 	"schemble/internal/rng"
 	"schemble/internal/trace"
 )
@@ -100,6 +101,17 @@ type Config struct {
 	// model.DefaultBatchMarginal).
 	BatchMarginal float64
 
+	// Classes mirrors serve.Config.Classes: request classes with
+	// priorities, default deadlines and admission weights. Arrivals are
+	// mapped to classes by trace.Arrival.Class (unknown/empty names land
+	// in the lowest-priority class); under overload the shared qos
+	// controller sheds and degrades the lowest classes first, exactly as
+	// the concurrent runtime does. Classed mode requires buffered mode.
+	Classes []qos.Class
+	// Admission tunes the overload controller (defaults like serve:
+	// capacity derived from mean latencies and replica counts).
+	Admission qos.Tuning
+
 	Seed uint64
 }
 
@@ -149,6 +161,10 @@ type query struct {
 	arrival  time.Duration
 	deadline time.Duration
 	score    float64
+	// class is the query's class index (-1 classless); level is the
+	// ladder service level it was committed at.
+	class int
+	level qos.Level
 
 	committed bool
 	subset    ensemble.Subset
@@ -194,6 +210,14 @@ type sim struct {
 	src     *rng.Source
 	records []metrics.Record
 	tr      *trace.Trace
+
+	// qosCtl is the overload controller shared (by construction, not by
+	// instance) with the serve runtime; always non-nil, estimator-only
+	// when Classes is empty. degradedSched plans greedy-level classes;
+	// lastSlack is the previous pass's unplanned-buffer fraction.
+	qosCtl        *qos.Controller
+	degradedSched *core.Greedy
+	lastSlack     float64
 }
 
 // Run simulates the trace against the configured pipeline and returns one
@@ -204,6 +228,9 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 	}
 	if cfg.Scheduler != nil && cfg.Rewarder == nil {
 		panic("sim: buffered mode needs a Rewarder")
+	}
+	if len(cfg.Classes) > 0 && cfg.Scheduler == nil {
+		panic("sim: Classes require buffered mode")
 	}
 	s := &sim{
 		cfg:     cfg,
@@ -237,6 +264,27 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 			s.byType[j] = append(s.byType[j], len(s.servers))
 			s.servers = append(s.servers, &server{typeIdx: j})
 		}
+	}
+	adm := cfg.Admission
+	if adm.Capacity <= 0 {
+		// Mirror serve.bottleneckCapacity: the slowest pool's throughput.
+		for j := 0; j < m; j++ {
+			lat := cfg.Ensemble.Models[j].MeanLatency().Seconds()
+			if lat <= 0 {
+				continue
+			}
+			c := float64(replicas[j]) / lat
+			if adm.Capacity <= 0 || c < adm.Capacity {
+				adm.Capacity = c
+			}
+		}
+		if adm.Capacity <= 0 {
+			adm.Capacity = 1
+		}
+	}
+	s.qosCtl = qos.New(qos.Config{Classes: cfg.Classes, Tuning: adm})
+	if len(cfg.Classes) > 0 {
+		s.degradedSched = &core.Greedy{Order: core.EDF}
 	}
 	for i := range tr.Arrivals {
 		s.push(&event{at: tr.Arrivals[i].At, kind: evArrival, arrIdx: i})
@@ -294,6 +342,16 @@ func (s *sim) onArrival(arrIdx int) {
 		sample:   s.samples[a.SampleIdx],
 		arrival:  a.At,
 		deadline: a.Deadline,
+		class:    s.qosCtl.ClassIndex(a.Class),
+	}
+	var className string
+	if q.class >= 0 {
+		cls := s.qosCtl.Class(q.class)
+		className = cls.Name
+		if q.deadline <= q.arrival {
+			// Per-class default deadline, mirroring serve.SubmitClass.
+			q.deadline = q.arrival + cls.Deadline
+		}
 	}
 	s.records[q.id] = metrics.Record{
 		QueryID:  q.id,
@@ -302,9 +360,16 @@ func (s *sim) onArrival(arrIdx int) {
 		Arrival:  q.arrival,
 		Deadline: q.deadline,
 		Missed:   true, // flipped on successful completion
+		Class:    className,
 	}
 	if s.cfg.Select != nil {
 		s.immediateAdmit(q)
+		return
+	}
+	// Admission control at arrival, before any scoring work — mirroring
+	// serve.SubmitClass. A shed query records an explicit rejection.
+	if q.class >= 0 && !s.qosCtl.Admit(s.now, q.class) {
+		s.records[q.id].Rejected = true
 		return
 	}
 	// Fast path (Exp-5): empty buffer + an idle replica of the fastest
@@ -440,6 +505,9 @@ func (s *sim) finishTask(q *query) {
 		return
 	}
 	rec.Missed = false
+	// A ladder-capped plan is reduced-quality service, mirroring
+	// serve's Result.Degraded.
+	rec.Degraded = q.level > qos.LevelFull
 	out := s.cfg.Ensemble.Predict(q.outs, q.subset)
 	rec.Agreement = s.cfg.Scorer.Score(out, s.cfg.Refs[q.sample.ID])
 }
@@ -460,57 +528,112 @@ func (s *sim) schedulePlan() {
 // planAndDispatch runs the scheduler over the buffer and commits queries to
 // idle servers in EDF order.
 func (s *sim) planAndDispatch() {
+	// Feed the overload controller (backlog + previous pass's slack)
+	// before planning, mirroring the serve coordinator's dispatch.
+	backlog := len(s.buffer)
+	for _, sv := range s.servers {
+		backlog += len(sv.queue)
+		if sv.running {
+			backlog++
+		}
+	}
+	s.qosCtl.Observe(s.now, backlog, s.lastSlack)
 	if len(s.buffer) == 0 {
 		return
 	}
 	m := s.cfg.Ensemble.M()
-	infos := make([]core.QueryInfo, len(s.buffer))
-	for i, q := range s.buffer {
-		infos[i] = core.QueryInfo{
-			ID: q.id, Arrival: q.arrival, Deadline: q.deadline, Score: q.score,
+	mkAvail := func() core.Capacity {
+		avail := make(core.Capacity, m)
+		for j := 0; j < m; j++ {
+			slots := make([]time.Duration, len(s.byType[j]))
+			for i, si := range s.byType[j] {
+				slots[i] = s.servers[si].backlogEnd
+			}
+			avail[j] = slots
 		}
+		return avail
 	}
-	avail := make(core.Capacity, m)
-	for j := 0; j < m; j++ {
-		slots := make([]time.Duration, len(s.byType[j]))
-		for i, si := range s.byType[j] {
-			slots[i] = s.servers[si].backlogEnd
-		}
-		avail[j] = slots
-	}
-	plan := s.cfg.Scheduler.Schedule(s.now, infos, avail, s.exec, s.cfg.Rewarder)
-
-	// Dispatch: walk buffered queries in EDF order; commit a query as soon
-	// as one of its planned models has an idle replica (its other tasks
-	// queue behind busy replicas, which is the paper's per-model task
-	// buffer).
-	order := make([]*query, len(s.buffer))
-	copy(order, s.buffer)
-	sortQueriesEDF(order)
-	committed := map[int]bool{}
-	for _, q := range order {
-		if q.committed || q.finished {
-			// Defensive: a committed query must never be re-dispatched.
-			committed[q.id] = true
-			continue
-		}
-		sub := plan.Subset(q.id)
-		if sub == ensemble.Empty {
-			continue
-		}
-		anyIdle := false
-		for _, j := range sub.Models() {
-			if s.anyIdle(j) {
-				anyIdle = true
-				break
+	mkInfos := func(group []*query) []core.QueryInfo {
+		infos := make([]core.QueryInfo, len(group))
+		for i, q := range group {
+			infos[i] = core.QueryInfo{
+				ID: q.id, Arrival: q.arrival, Deadline: q.deadline, Score: q.score,
 			}
 		}
-		if !anyIdle {
-			continue
-		}
-		s.commit(q, sub)
-		committed[q.id] = true
+		return infos
 	}
+	committed := map[int]bool{}
+	// dispatchGroup walks a planned group in EDF order; a query commits as
+	// soon as one of its planned models has an idle replica (its other
+	// tasks queue behind busy replicas, the paper's per-model task
+	// buffer). lvl caps committed subsets per the degradation ladder.
+	dispatchGroup := func(group []*query, lvl map[int]qos.Level, plan core.Plan) {
+		order := make([]*query, len(group))
+		copy(order, group)
+		sortQueriesEDF(order)
+		for _, q := range order {
+			if q.committed || q.finished {
+				// Defensive: a committed query must never be re-dispatched.
+				committed[q.id] = true
+				continue
+			}
+			sub := plan.Subset(q.id)
+			if sub == ensemble.Empty {
+				continue
+			}
+			if l := lvl[q.id]; l > qos.LevelFull {
+				sub = qos.TruncateSubset(sub, qos.SubsetCap(l, m), s.exec)
+			}
+			anyIdle := false
+			for _, j := range sub.Models() {
+				if s.anyIdle(j) {
+					anyIdle = true
+					break
+				}
+			}
+			if !anyIdle {
+				continue
+			}
+			q.level = lvl[q.id]
+			s.commit(q, sub)
+			committed[q.id] = true
+		}
+	}
+	if s.degradedSched == nil {
+		// Classless: one plan over the whole buffer, as before.
+		dispatchGroup(s.buffer, nil,
+			s.cfg.Scheduler.Schedule(s.now, mkInfos(s.buffer), mkAvail(), s.exec, s.cfg.Rewarder))
+	} else {
+		// Classed: full/capped classes keep the configured scheduler;
+		// greedy-level classes are planned afterwards against the capacity
+		// the protected tiers left behind — mirroring the serve
+		// coordinator. Shed-level buffered queries clamp to greedy
+		// (admission is not retroactive).
+		var main, deg []*query
+		mainLvl, degLvl := map[int]qos.Level{}, map[int]qos.Level{}
+		for _, q := range s.buffer {
+			lvl := s.qosCtl.Level(q.class)
+			if lvl > qos.LevelGreedy {
+				lvl = qos.LevelGreedy
+			}
+			if lvl == qos.LevelGreedy {
+				deg = append(deg, q)
+				degLvl[q.id] = lvl
+			} else {
+				main = append(main, q)
+				mainLvl[q.id] = lvl
+			}
+		}
+		if len(main) > 0 {
+			dispatchGroup(main, mainLvl,
+				s.cfg.Scheduler.Schedule(s.now, mkInfos(main), mkAvail(), s.exec, s.cfg.Rewarder))
+		}
+		if len(deg) > 0 {
+			dispatchGroup(deg, degLvl,
+				s.degradedSched.Schedule(s.now, mkInfos(deg), mkAvail(), s.exec, s.cfg.Rewarder))
+		}
+	}
+	s.lastSlack = float64(len(s.buffer)-len(committed)) / float64(len(s.buffer))
 	if len(committed) > 0 {
 		s.buffer = filterQueries(s.buffer, func(q *query) bool { return !committed[q.id] })
 		// Committing may have left other planned queries adjacent to idle

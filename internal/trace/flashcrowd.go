@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"schemble/internal/dataset"
+	"schemble/internal/rng"
+)
+
+// ClassMix is one request class's share of a multi-class trace.
+type ClassMix struct {
+	// Name labels generated arrivals (Arrival.Class).
+	Name string
+	// Share is the class's fraction of background traffic; shares are
+	// normalized, so they need not sum to 1.
+	Share float64
+	// Deadline is the class's relative deadline.
+	Deadline time.Duration
+}
+
+// FlashCrowdConfig configures a flash-crowd trace: a steady multi-class
+// background rate with a single crowd event — a ramp up to PeakFactor
+// times the background rate, a hold at the peak, and a ramp back down —
+// whose extra arrivals all carry CrowdClass (a flash crowd is
+// characteristically one kind of traffic, e.g. anonymous read queries
+// after a link goes viral, not a uniform scale-up of every tenant).
+type FlashCrowdConfig struct {
+	// BackgroundRate is the steady aggregate arrival rate (queries per
+	// virtual second), split across Classes by Share.
+	BackgroundRate float64
+	// Classes is the background class mixture; must be non-empty with
+	// positive shares and deadlines.
+	Classes []ClassMix
+	// CrowdClass labels the crowd's extra arrivals; empty means the last
+	// class in Classes (conventionally the lowest-priority one).
+	CrowdClass string
+	// PeakFactor is the crowd's peak aggregate rate as a multiple of
+	// BackgroundRate (default 5): at the peak, extra crowd arrivals land
+	// at (PeakFactor-1)*BackgroundRate on top of the background.
+	PeakFactor float64
+	// CrowdStart, RampUp, Hold, RampDown shape the crowd envelope:
+	// nothing before CrowdStart, a linear ramp to the peak over RampUp, a
+	// plateau for Hold, and a linear decay over RampDown. Defaults:
+	// CrowdStart = Horizon/5, RampUp = RampDown = Horizon/10,
+	// Hold = Horizon/4.
+	CrowdStart, RampUp, Hold, RampDown time.Duration
+	// Horizon is the trace length (required).
+	Horizon time.Duration
+	// Samples is the pool drawn from (uniformly with replacement).
+	Samples []*dataset.Sample
+	Seed    uint64
+}
+
+// crowdEnvelope returns the crowd's rate multiplier in [0,1] at time at:
+// 0 outside the event, 1 at the plateau, linear on the ramps.
+func crowdEnvelope(at, start, up, hold, down time.Duration) float64 {
+	switch {
+	case at < start:
+		return 0
+	case at < start+up:
+		return float64(at-start) / float64(up)
+	case at < start+up+hold:
+		return 1
+	case at < start+up+hold+down:
+		return 1 - float64(at-start-up-hold)/float64(down)
+	}
+	return 0
+}
+
+// poissonStream appends a homogeneous Poisson stream of the given rate
+// over [0, horizon) to out, labeling arrivals with class/deadline.
+func poissonStream(out []Arrival, src *rng.Source, rate float64, horizon time.Duration,
+	samples []*dataset.Sample, class string, deadline time.Duration) []Arrival {
+	if rate <= 0 {
+		return out
+	}
+	var now time.Duration
+	for {
+		now += time.Duration(src.Exponential(rate) * float64(time.Second))
+		if now >= horizon {
+			return out
+		}
+		out = append(out, Arrival{
+			SampleIdx: src.Intn(len(samples)),
+			At:        now,
+			Deadline:  now + deadline,
+			Class:     class,
+		})
+	}
+}
+
+// sortArrivals orders arrivals by time, ties broken by class then sample
+// index, so merged multi-stream traces are deterministic.
+func sortArrivals(a []Arrival) {
+	sort.SliceStable(a, func(i, j int) bool {
+		if a[i].At != a[j].At {
+			return a[i].At < a[j].At
+		}
+		if a[i].Class != a[j].Class {
+			return a[i].Class < a[j].Class
+		}
+		return a[i].SampleIdx < a[j].SampleIdx
+	})
+}
+
+// validateMix panics unless every class has a name, positive share and
+// positive deadline; returns the share sum.
+func validateMix(classes []ClassMix) float64 {
+	if len(classes) == 0 {
+		panic("trace: no classes")
+	}
+	sum := 0.0
+	for _, c := range classes {
+		if c.Name == "" || c.Share <= 0 || c.Deadline <= 0 {
+			panic("trace: class needs a name, positive Share and Deadline")
+		}
+		sum += c.Share
+	}
+	return sum
+}
+
+// FlashCrowd generates the flash-crowd trace. The crowd's extra arrivals
+// are produced by thinning a peak-rate Poisson stream against the
+// envelope, so the generated process is an exact inhomogeneous Poisson
+// process with the ramp/hold/ramp intensity. Deterministic per
+// (config, seed).
+func FlashCrowd(cfg FlashCrowdConfig) *Trace {
+	if cfg.BackgroundRate <= 0 || cfg.Horizon <= 0 || len(cfg.Samples) == 0 {
+		panic("trace: bad FlashCrowd config")
+	}
+	sum := validateMix(cfg.Classes)
+	if cfg.PeakFactor <= 1 {
+		cfg.PeakFactor = 5
+	}
+	if cfg.CrowdStart <= 0 {
+		cfg.CrowdStart = cfg.Horizon / 5
+	}
+	if cfg.RampUp <= 0 {
+		cfg.RampUp = cfg.Horizon / 10
+	}
+	if cfg.Hold <= 0 {
+		cfg.Hold = cfg.Horizon / 4
+	}
+	if cfg.RampDown <= 0 {
+		cfg.RampDown = cfg.Horizon / 10
+	}
+	crowdClass := cfg.CrowdClass
+	crowdDeadline := cfg.Classes[len(cfg.Classes)-1].Deadline
+	if crowdClass == "" {
+		crowdClass = cfg.Classes[len(cfg.Classes)-1].Name
+	} else {
+		for _, c := range cfg.Classes {
+			if c.Name == crowdClass {
+				crowdDeadline = c.Deadline
+			}
+		}
+	}
+
+	src := rng.New(cfg.Seed ^ 0xf1a5)
+	var arrivals []Arrival
+	// Steady background, one independent stream per class.
+	for _, c := range cfg.Classes {
+		arrivals = poissonStream(arrivals, src, cfg.BackgroundRate*c.Share/sum,
+			cfg.Horizon, cfg.Samples, c.Name, c.Deadline)
+	}
+	// Crowd extra: thin a peak-rate stream by the envelope.
+	peakExtra := (cfg.PeakFactor - 1) * cfg.BackgroundRate
+	var now time.Duration
+	for {
+		now += time.Duration(src.Exponential(peakExtra) * float64(time.Second))
+		if now >= cfg.Horizon {
+			break
+		}
+		keep := src.Float64() < crowdEnvelope(now, cfg.CrowdStart, cfg.RampUp, cfg.Hold, cfg.RampDown)
+		if !keep {
+			continue
+		}
+		arrivals = append(arrivals, Arrival{
+			SampleIdx: src.Intn(len(cfg.Samples)),
+			At:        now,
+			Deadline:  now + crowdDeadline,
+			Class:     crowdClass,
+		})
+	}
+	sortArrivals(arrivals)
+	return &Trace{Arrivals: arrivals, Horizon: cfg.Horizon}
+}
+
+// MultiClassBurstConfig configures a correlated multi-class burst trace:
+// steady per-class background traffic plus periodic bursts that hit every
+// class at the same instant (the correlated-failure shape — a shared
+// upstream hiccup releases queued traffic from all tenants at once,
+// unlike FlashCrowd's single-class crowd).
+type MultiClassBurstConfig struct {
+	// BackgroundRate is the steady aggregate rate, split by Share.
+	BackgroundRate float64
+	// Classes is the class mixture; burst sizes are split by Share too.
+	Classes []ClassMix
+	// BurstSize is the total number of simultaneous arrivals per burst,
+	// distributed across classes proportionally to Share (largest
+	// remainders rounding, so every burst sums exactly to BurstSize).
+	BurstSize int
+	// Period is the burst spacing (required).
+	Period time.Duration
+	// Jitter perturbs each burst instant uniformly in ±Jitter/2 (default
+	// 0: perfectly periodic).
+	Jitter time.Duration
+	// Horizon is the trace length (required).
+	Horizon time.Duration
+	Samples []*dataset.Sample
+	Seed    uint64
+}
+
+// MultiClassBurst generates the correlated burst trace. Deterministic per
+// (config, seed).
+func MultiClassBurst(cfg MultiClassBurstConfig) *Trace {
+	if cfg.BackgroundRate <= 0 || cfg.Horizon <= 0 || cfg.Period <= 0 ||
+		cfg.BurstSize <= 0 || len(cfg.Samples) == 0 {
+		panic("trace: bad MultiClassBurst config")
+	}
+	sum := validateMix(cfg.Classes)
+	src := rng.New(cfg.Seed ^ 0xb057)
+	var arrivals []Arrival
+	for _, c := range cfg.Classes {
+		arrivals = poissonStream(arrivals, src, cfg.BackgroundRate*c.Share/sum,
+			cfg.Horizon, cfg.Samples, c.Name, c.Deadline)
+	}
+	// Split BurstSize across classes by share with largest-remainder
+	// rounding (ties to the earlier class), so per-burst counts are fixed
+	// and sum exactly to BurstSize.
+	counts := make([]int, len(cfg.Classes))
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, len(cfg.Classes))
+	total := 0
+	for i, c := range cfg.Classes {
+		exact := float64(cfg.BurstSize) * c.Share / sum
+		counts[i] = int(exact)
+		rems[i] = rem{i, exact - float64(counts[i])}
+		total += counts[i]
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; total < cfg.BurstSize; k++ {
+		counts[rems[k%len(rems)].i]++
+		total++
+	}
+	for at := cfg.Period; at < cfg.Horizon; at += cfg.Period {
+		burstAt := at
+		if cfg.Jitter > 0 {
+			burstAt += time.Duration(src.Uniform(-float64(cfg.Jitter)/2, float64(cfg.Jitter)/2))
+			if burstAt < 0 {
+				burstAt = 0
+			}
+			if burstAt >= cfg.Horizon {
+				continue
+			}
+		}
+		for i, c := range cfg.Classes {
+			for n := 0; n < counts[i]; n++ {
+				arrivals = append(arrivals, Arrival{
+					SampleIdx: src.Intn(len(cfg.Samples)),
+					At:        burstAt,
+					Deadline:  burstAt + c.Deadline,
+					Class:     c.Name,
+				})
+			}
+		}
+	}
+	sortArrivals(arrivals)
+	return &Trace{Arrivals: arrivals, Horizon: cfg.Horizon}
+}

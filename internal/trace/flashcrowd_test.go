@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func flashMix() []ClassMix {
+	return []ClassMix{
+		{Name: "gold", Share: 0.2, Deadline: 300 * time.Millisecond},
+		{Name: "silver", Share: 0.3, Deadline: 300 * time.Millisecond},
+		{Name: "bronze", Share: 0.5, Deadline: 500 * time.Millisecond},
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	cfg := FlashCrowdConfig{
+		BackgroundRate: 20,
+		Classes:        flashMix(),
+		PeakFactor:     5,
+		Horizon:        60 * time.Second,
+		CrowdStart:     15 * time.Second,
+		RampUp:         5 * time.Second,
+		Hold:           15 * time.Second,
+		RampDown:       5 * time.Second,
+		Samples:        pool(100),
+		Seed:           7,
+	}
+	tr := FlashCrowd(cfg)
+	var prev time.Duration
+	perClass := map[string]int{}
+	for _, a := range tr.Arrivals {
+		if a.At < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = a.At
+		if a.Class == "" {
+			t.Fatal("unlabeled arrival")
+		}
+		perClass[a.Class]++
+		if a.Deadline <= a.At {
+			t.Fatal("deadline before arrival")
+		}
+	}
+	if len(perClass) != 3 {
+		t.Fatalf("classes seen: %v, want 3", perClass)
+	}
+	// The crowd defaults to the last (lowest) class, so bronze dominates.
+	if perClass["bronze"] < perClass["gold"]*3 {
+		t.Errorf("crowd should swell bronze: %v", perClass)
+	}
+	// Rate during the plateau ~5x the pre-crowd rate.
+	count := func(from, to time.Duration) float64 {
+		n := 0
+		for _, a := range tr.Arrivals {
+			if a.At >= from && a.At < to {
+				n++
+			}
+		}
+		return float64(n) / (to - from).Seconds()
+	}
+	quiet := count(0, 15*time.Second)
+	peak := count(20*time.Second, 35*time.Second)
+	if ratio := peak / quiet; ratio < 3.5 || ratio > 6.5 {
+		t.Errorf("peak/quiet = %.2f, want ~5", ratio)
+	}
+	// After the crowd fully decays, the rate returns to background.
+	tail := count(45*time.Second, 60*time.Second)
+	if tail > quiet*1.5 {
+		t.Errorf("tail rate %.1f did not return to background %.1f", tail, quiet)
+	}
+}
+
+func TestFlashCrowdDeterminism(t *testing.T) {
+	cfg := FlashCrowdConfig{
+		BackgroundRate: 10, Classes: flashMix(),
+		Horizon: 20 * time.Second, Samples: pool(50), Seed: 9,
+	}
+	a, b := FlashCrowd(cfg), FlashCrowd(cfg)
+	if a.N() != b.N() || a.N() == 0 {
+		t.Fatalf("N mismatch: %d vs %d", a.N(), b.N())
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatal("FlashCrowd not deterministic")
+		}
+	}
+	// A different seed produces a different trace.
+	cfg.Seed = 10
+	c := FlashCrowd(cfg)
+	same := c.N() == a.N()
+	if same {
+		for i := range a.Arrivals {
+			if a.Arrivals[i] != c.Arrivals[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFlashCrowdExplicitCrowdClass(t *testing.T) {
+	tr := FlashCrowd(FlashCrowdConfig{
+		BackgroundRate: 10, Classes: flashMix(), CrowdClass: "silver",
+		PeakFactor: 8, Horizon: 30 * time.Second, Samples: pool(50), Seed: 11,
+	})
+	perClass := map[string]int{}
+	for _, a := range tr.Arrivals {
+		perClass[a.Class]++
+	}
+	if perClass["silver"] < perClass["bronze"] {
+		t.Errorf("CrowdClass=silver should dominate: %v", perClass)
+	}
+}
+
+func TestMultiClassBurst(t *testing.T) {
+	tr := MultiClassBurst(MultiClassBurstConfig{
+		BackgroundRate: 5,
+		Classes:        flashMix(),
+		BurstSize:      40,
+		Period:         5 * time.Second,
+		Horizon:        30 * time.Second,
+		Samples:        pool(50),
+		Seed:           13,
+	})
+	var prev time.Duration
+	for _, a := range tr.Arrivals {
+		if a.At < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = a.At
+	}
+	// Bursts at 5s,10s,...,25s: every burst carries exactly BurstSize
+	// arrivals split 8/12/20 by share, all classes simultaneously.
+	counts := map[time.Duration]map[string]int{}
+	for _, a := range tr.Arrivals {
+		if counts[a.At] == nil {
+			counts[a.At] = map[string]int{}
+		}
+		counts[a.At][a.Class]++
+	}
+	bursts := 0
+	for _, byClass := range counts {
+		tot := 0
+		for _, n := range byClass {
+			tot += n
+		}
+		if tot >= 40 {
+			bursts++
+			if byClass["gold"] < 8 || byClass["silver"] < 12 || byClass["bronze"] < 20 {
+				t.Errorf("burst split %v, want >= 8/12/20", byClass)
+			}
+		}
+	}
+	if bursts != 5 {
+		t.Errorf("found %d full bursts, want 5", bursts)
+	}
+
+	// Determinism.
+	cfg := MultiClassBurstConfig{
+		BackgroundRate: 5, Classes: flashMix(), BurstSize: 10,
+		Period: 2 * time.Second, Jitter: time.Second,
+		Horizon: 20 * time.Second, Samples: pool(50), Seed: 14,
+	}
+	a, b := MultiClassBurst(cfg), MultiClassBurst(cfg)
+	if a.N() != b.N() {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Arrivals {
+		if a.Arrivals[i] != b.Arrivals[i] {
+			t.Fatal("MultiClassBurst not deterministic")
+		}
+	}
+}
+
+func TestFlashCrowdPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no rate":    func() { FlashCrowd(FlashCrowdConfig{Classes: flashMix(), Horizon: time.Second, Samples: pool(5)}) },
+		"no classes": func() { FlashCrowd(FlashCrowdConfig{BackgroundRate: 1, Horizon: time.Second, Samples: pool(5)}) },
+		"bad share": func() {
+			FlashCrowd(FlashCrowdConfig{BackgroundRate: 1, Horizon: time.Second, Samples: pool(5),
+				Classes: []ClassMix{{Name: "x", Share: 0, Deadline: time.Second}}})
+		},
+		"burst no period": func() {
+			MultiClassBurst(MultiClassBurstConfig{BackgroundRate: 1, Classes: flashMix(),
+				BurstSize: 5, Horizon: time.Second, Samples: pool(5)})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -13,11 +13,13 @@ import (
 )
 
 // Arrival is one query arrival: which sample arrives, when, and its
-// absolute deadline.
+// absolute deadline. Class optionally tags the arrival with a request
+// class name (empty = classless / the runtime's default class).
 type Arrival struct {
 	SampleIdx int
 	At        time.Duration
 	Deadline  time.Duration
+	Class     string
 }
 
 // Trace is an ordered arrival sequence.
