@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test test-race chaos obsv bench bench-json overload fuzz cover
+.PHONY: check lint vet build test test-race chaos obsv bench bench-json overload cache fuzz cover
 
 check: vet build test-race
 
@@ -75,6 +75,18 @@ bench-json:
 OVERLOAD_FLAGS ?=
 overload:
 	$(GO) run ./cmd/schemble-overload -out BENCH_overload.json $(OVERLOAD_FLAGS)
+
+# cache runs cmd/schemble-cache — the Zipf-popularity result-cache soak at
+# 2x bottleneck capacity, cache-off vs cache-on over the identical trace —
+# and writes the BENCH_cache.json cache-trajectory file. The run itself
+# gates on the hit-rate floor and on caching not costing deadlines; CI
+# runs it as
+#   make cache CACHE_FLAGS="-quick -baseline BENCH_cache.json"
+# which additionally fails on a hit-rate regression against the committed
+# baseline (read before the file is rewritten).
+CACHE_FLAGS ?=
+cache:
+	$(GO) run ./cmd/schemble-cache -out BENCH_cache.json $(CACHE_FLAGS)
 
 # Short coverage-guided fuzzing bursts over the scheduler and the HTTP
 # surface, seeded from testdata/fuzz. FUZZTIME=5m for a deeper local run;

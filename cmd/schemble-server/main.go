@@ -30,12 +30,15 @@ import (
 	"syscall"
 	"time"
 
+	"schemble/internal/cluster"
 	"schemble/internal/core"
 	"schemble/internal/dataset"
 	"schemble/internal/httpserve"
 	"schemble/internal/model"
 	"schemble/internal/obsv"
 	"schemble/internal/pipeline"
+	"schemble/internal/rcache"
+	"schemble/internal/rng"
 	"schemble/internal/serve"
 )
 
@@ -123,6 +126,11 @@ func main() {
 	classesFlag := flag.String("classes", "", "request classes as name:priority:deadline[:weight],... (e.g. gold:2:300ms:3,bronze:0:1s); empty = classless")
 	admCapacity := flag.Float64("admission-capacity", 0, "admission-controller capacity in queries per virtual second (0 = derive from the bottleneck model)")
 	admTarget := flag.Duration("admission-target", 0, "backlog drain-time target in virtual time; load 1.0 means the backlog drains in exactly this long (0 = default 500ms)")
+	cacheOn := flag.Bool("cache", false, "enable the difficulty-gated result cache")
+	cacheSize := flag.Int("cache-size", 1024, "cache: entry capacity (LRU beyond it)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cache: entry lifetime in virtual time (0 = never expires)")
+	cacheDifficultyMax := flag.Float64("cache-difficulty-max", 0.5, "cache: only queries with difficulty score <= this are cacheable")
+	cacheRegions := flag.Int("cache-regions", 64, "cache: k-means centroids keying the feature space")
 	traceBuffer := flag.Int("trace-buffer", 512, "decision traces kept for /v1/trace (0 disables tracing and the latency histograms)")
 	traceLog := flag.String("trace-log", "", "append decision traces as JSONL serving-log records to this file (implies observability on)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (empty = off)")
@@ -198,6 +206,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-classes: %v\n", err)
 		os.Exit(2)
 	}
+	var cacheCfg rcache.Config
+	if *cacheOn {
+		// Key the cache off a fresh k-means fit over the serving pool's
+		// feature space: samples landing in the same centroid share answers.
+		points := make([][]float64, len(arts.Serve))
+		for i, s := range arts.Serve {
+			points[i] = s.Features
+		}
+		km, err := cluster.Fit(points, *cacheRegions, 30, rng.New(*seed^0xcac4e))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cache: fitting keyer: %v\n", err)
+			os.Exit(1)
+		}
+		cacheCfg = rcache.Config{
+			Keyer:         rcache.CentroidKeyer{KM: km},
+			Capacity:      *cacheSize,
+			TTL:           *cacheTTL,
+			DifficultyMax: *cacheDifficultyMax,
+		}
+		fmt.Fprintf(os.Stderr,
+			"result cache: %d centroids, capacity %d, ttl %v, difficulty-max %.2f\n",
+			km.K(), *cacheSize, *cacheTTL, *cacheDifficultyMax)
+	}
 	rt := serve.New(serve.Config{
 		Ensemble:   arts.Ensemble,
 		Scheduler:  &core.DP{Delta: 0.01},
@@ -213,6 +244,7 @@ func main() {
 		},
 		Classes:   classes,
 		Admission: serve.AdmissionConfig{Capacity: *admCapacity, Target: *admTarget},
+		Cache:     cacheCfg,
 		Seed:      *seed,
 		Faults:    faults,
 		// Mitigations stay on even without injection: they also cover

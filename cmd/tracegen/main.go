@@ -9,6 +9,7 @@
 //	tracegen -kind flashcrowd -rate 20 -peak 5 -horizon 60s \
 //	    -classmix "gold:0.2:300ms,silver:0.3:300ms,bronze:0.5:500ms" > crowd.csv
 //	tracegen -kind burst -rate 5 -burst-size 40 -burst-period 5s > bursts.csv
+//	tracegen -kind zipf -rate 80 -n 10000 -zipf-s 1.2 > popular.csv
 package main
 
 import (
@@ -48,10 +49,10 @@ func parseClassMix(s string) ([]trace.ClassMix, error) {
 }
 
 func main() {
-	kind := flag.String("kind", "poisson", "poisson | oneday | flashcrowd | burst")
-	rate := flag.Float64("rate", 40, "poisson/flashcrowd/burst: background arrivals per second")
-	n := flag.Int("n", 5000, "poisson: number of arrivals")
-	deadline := flag.Duration("deadline", 100*time.Millisecond, "constant relative deadline (poisson/oneday)")
+	kind := flag.String("kind", "poisson", "poisson | oneday | flashcrowd | burst | zipf")
+	rate := flag.Float64("rate", 40, "poisson/zipf/flashcrowd/burst: background arrivals per second")
+	n := flag.Int("n", 5000, "poisson/zipf: number of arrivals")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "constant relative deadline (poisson/oneday/zipf)")
 	hourSeconds := flag.Float64("hourseconds", 8, "oneday: virtual seconds per hour")
 	horizon := flag.Duration("horizon", 60*time.Second, "flashcrowd/burst: trace length")
 	classMix := flag.String("classmix", "gold:0.2:300ms,silver:0.3:300ms,bronze:0.5:500ms",
@@ -61,6 +62,8 @@ func main() {
 	burstSize := flag.Int("burst-size", 40, "burst: simultaneous arrivals per burst, split across classes by share")
 	burstPeriod := flag.Duration("burst-period", 5*time.Second, "burst: spacing between bursts")
 	burstJitter := flag.Duration("burst-jitter", 0, "burst: uniform jitter applied to each burst instant")
+	zipfS := flag.Float64("zipf-s", 0, "zipf: popularity exponent (0 = package default)")
+	zipfV := flag.Float64("zipf-v", 0, "zipf: rank offset (0 = package default)")
 	pool := flag.Int("pool", 2000, "sample pool size")
 	seed := flag.Uint64("seed", 7, "seed")
 	flag.Parse()
@@ -94,6 +97,12 @@ func main() {
 			Horizon:        *horizon,
 			Samples:        samples,
 			Seed:           *seed,
+		})
+	case "zipf":
+		tr = trace.Zipfian(trace.ZipfianConfig{
+			RatePerSec: *rate, N: *n, Samples: samples,
+			Deadline: trace.ConstantDeadline(*deadline),
+			S:        *zipfS, V: *zipfV, Seed: *seed,
 		})
 	case "burst":
 		tr = trace.MultiClassBurst(trace.MultiClassBurstConfig{

@@ -19,18 +19,35 @@ import (
 	"schemble/internal/analysis"
 )
 
-// obsvPath declares the taxonomy. The variant set is discovered from the
-// package's scope (every exported string constant named Outcome*), so
-// the analyzer extends itself when a new outcome constant lands.
+// obsvPath declares the taxonomies. Each variant set is discovered from
+// the package's scope (every exported string constant carrying the
+// family's prefix), so the analyzer extends itself when a new constant
+// lands.
 const obsvPath = "schemble/internal/obsv"
+
+// families lists the taxonomy prefixes, longest first so a constant is
+// claimed by the most specific family (CacheOutcomeHit belongs to
+// CacheOutcome*, never to a hypothetical shorter match). Each family is
+// checked for exhaustiveness independently.
+var families = []string{"CacheOutcome", "Outcome"}
 
 // Analyzer is the exhaustiveoutcome analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "exhaustiveoutcome",
-	Doc: "switches and composite literals over the outcome taxonomy " +
-		"must cover every Outcome* constant",
+	Doc: "switches and composite literals over an outcome taxonomy " +
+		"(Outcome*, CacheOutcome*) must cover every constant of that family",
 	Directives: []string{"outcome-ok"},
 	Run:        run,
+}
+
+// family returns the taxonomy prefix owning the constant name, or "".
+func family(name string) string {
+	for _, f := range families {
+		if strings.HasPrefix(name, f) {
+			return f
+		}
+	}
+	return ""
 }
 
 func run(pass *analysis.Pass) error {
@@ -64,20 +81,21 @@ func outcomeConst(info *types.Info, e ast.Expr) *types.Const {
 	if !ok || c.Pkg() == nil || c.Pkg().Path() != obsvPath || !c.Exported() {
 		return nil
 	}
-	if !strings.HasPrefix(c.Name(), "Outcome") || c.Val().Kind() != constant.String {
+	if family(c.Name()) == "" || c.Val().Kind() != constant.String {
 		return nil
 	}
 	return c
 }
 
-// taxonomy enumerates every Outcome* string constant in the declaring
-// package's scope.
+// taxonomy enumerates every string constant of the reference constant's
+// family in the declaring package's scope.
 func taxonomy(c *types.Const) []string {
+	fam := family(c.Name())
 	scope := c.Pkg().Scope()
 	var all []string
 	for _, name := range scope.Names() {
 		o, ok := scope.Lookup(name).(*types.Const)
-		if !ok || !o.Exported() || !strings.HasPrefix(name, "Outcome") {
+		if !ok || !o.Exported() || family(name) != fam {
 			continue
 		}
 		if o.Val().Kind() != constant.String {
@@ -106,7 +124,7 @@ func reportMissing(pass *analysis.Pass, pos ast.Node, covered map[string]bool, r
 
 func checkSwitch(pass *analysis.Pass, info *types.Info, sw *ast.SwitchStmt) {
 	covered := make(map[string]bool)
-	var ref *types.Const
+	refs := make(map[string]*types.Const)
 	for _, stmt := range sw.Body.List {
 		cc, ok := stmt.(*ast.CaseClause)
 		if !ok {
@@ -115,13 +133,27 @@ func checkSwitch(pass *analysis.Pass, info *types.Info, sw *ast.SwitchStmt) {
 		for _, e := range cc.List {
 			if c := outcomeConst(info, e); c != nil {
 				covered[c.Name()] = true
-				ref = c
+				refs[family(c.Name())] = c
 			}
 		}
 	}
-	if ref != nil {
+	for _, ref := range sortedRefs(refs) {
 		reportMissing(pass, sw, covered, ref, "switch")
 	}
+}
+
+// sortedRefs orders one reference constant per family deterministically.
+func sortedRefs(refs map[string]*types.Const) []*types.Const {
+	fams := make([]string, 0, len(refs))
+	for f := range refs {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	out := make([]*types.Const, len(fams))
+	for i, f := range fams {
+		out[i] = refs[f]
+	}
+	return out
 }
 
 // checkComposite looks at dispatch-shaped literals only: maps keyed by
@@ -149,7 +181,7 @@ func checkComposite(pass *analysis.Pass, info *types.Info, lit *ast.CompositeLit
 		return
 	}
 	covered := make(map[string]bool)
-	var ref *types.Const
+	refs := make(map[string]*types.Const)
 	for _, el := range lit.Elts {
 		e := el
 		if kv, ok := el.(*ast.KeyValueExpr); ok {
@@ -162,10 +194,10 @@ func checkComposite(pass *analysis.Pass, info *types.Info, lit *ast.CompositeLit
 		}
 		if c := outcomeConst(info, e); c != nil {
 			covered[c.Name()] = true
-			ref = c
+			refs[family(c.Name())] = c
 		}
 	}
-	if ref != nil {
+	for _, ref := range sortedRefs(refs) {
 		reportMissing(pass, lit, covered, ref, "composite literal")
 	}
 }

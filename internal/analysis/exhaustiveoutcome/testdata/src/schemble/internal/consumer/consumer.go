@@ -100,3 +100,41 @@ var classSheddable = map[string]bool{ // want "composite literal over the outcom
 	obsv.OutcomeServed:   false,
 	obsv.OutcomeRejected: true,
 }
+
+// CachePartial dispatches on the cache family and forgets bypasses: the
+// exact bug class the CacheOutcome* family exists to catch, and it must
+// only owe its own family's variants, never OutcomeServed etc.
+func CachePartial(o string) int {
+	switch o { // want "switch over the outcome taxonomy is missing CacheOutcomeBypass"
+	case obsv.CacheOutcomeHit:
+		return 1
+	case obsv.CacheOutcomeMiss:
+		return 2
+	}
+	return 0
+}
+
+// CacheFull covers the whole cache family and must stay clean.
+func CacheFull(o string) bool {
+	switch o {
+	case obsv.CacheOutcomeHit:
+		return true
+	case obsv.CacheOutcomeMiss, obsv.CacheOutcomeBypass:
+		return false
+	}
+	return false
+}
+
+// cacheOrder is a dispatch-shaped slice with a hole in the cache family.
+var cacheOrder = []string{obsv.CacheOutcomeHit, obsv.CacheOutcomeMiss} // want "composite literal over the outcome taxonomy is missing CacheOutcomeBypass"
+
+// allCacheOutcomes is complete and must stay clean.
+var allCacheOutcomes = []string{obsv.CacheOutcomeHit, obsv.CacheOutcomeMiss, obsv.CacheOutcomeBypass}
+
+// mixed dispatches over BOTH families in one literal: each family is
+// checked independently, so it owes one variant from each.
+var mixed = map[string]int{ // want "composite literal over the outcome taxonomy is missing CacheOutcomeBypass" "composite literal over the outcome taxonomy is missing OutcomeDegraded, OutcomeMissed, OutcomeRejected"
+	obsv.OutcomeServed:    1,
+	obsv.CacheOutcomeHit:  2,
+	obsv.CacheOutcomeMiss: 3,
+}

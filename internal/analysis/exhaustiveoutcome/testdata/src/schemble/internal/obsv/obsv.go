@@ -17,3 +17,15 @@ const OutcomeCount = 4
 
 // outcomeDraft is unexported and must also be skipped.
 const outcomeDraft = "draft"
+
+// The cache-outcome taxonomy: a separate family, checked independently
+// of Outcome* — a dispatch over one family never owes the other's
+// variants.
+const (
+	CacheOutcomeHit    = "hit"
+	CacheOutcomeMiss   = "miss"
+	CacheOutcomeBypass = "bypass"
+)
+
+// cacheOutcomeDraft is unexported and must be skipped.
+const cacheOutcomeDraft = "draft"

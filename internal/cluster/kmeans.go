@@ -1,13 +1,22 @@
 // Package cluster provides k-means clustering with k-means++ seeding. The
 // DES baseline (dynamic ensemble selection) uses it to partition the input
-// space into competence regions, as the DES literature prescribes.
+// space into competence regions, and internal/rcache keys its result cache
+// on centroid assignments — which is why Fit must never emit duplicate
+// centroids and Assign must never silently mislabel a point from a
+// different feature space.
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"schemble/internal/rng"
 )
+
+// ErrNoPoints is returned by Fit when the input is empty: there is nothing
+// to seed a centroid from.
+var ErrNoPoints = errors.New("cluster: no points")
 
 // KMeans holds fitted cluster centroids.
 type KMeans struct {
@@ -15,30 +24,52 @@ type KMeans struct {
 }
 
 // Fit runs k-means with k-means++ initialization on points, for at most
-// maxIter Lloyd iterations (20 if maxIter <= 0). It panics when k <= 0 or
-// points is empty; when k >= len(points) every point becomes its own
-// centroid.
-func Fit(points [][]float64, k, maxIter int, src *rng.Source) *KMeans {
-	if k <= 0 {
-		panic("cluster: k must be positive")
-	}
+// maxIter Lloyd iterations (20 if maxIter <= 0). k is clamped to
+// [1, len(points)]; an empty input returns ErrNoPoints and a
+// dimension-mismatched point returns an error naming the offender. The
+// fitted model may hold fewer than k centroids when the input has fewer
+// than k distinct points — centroids are always pairwise distinct, so
+// K() and Assign stay consistent with the reduced count.
+func Fit(points [][]float64, k, maxIter int, src *rng.Source) (*KMeans, error) {
 	if len(points) == 0 {
-		panic("cluster: no points")
+		return nil, ErrNoPoints
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(points) {
+		k = len(points)
 	}
 	if maxIter <= 0 {
 		maxIter = 20
 	}
-	if k >= len(points) {
+	if k == len(points) {
+		// Every distinct point becomes its own centroid; duplicates
+		// collapse so no two centroids alias the same cache key.
 		km := &KMeans{}
 		for _, p := range points {
-			km.Centroids = append(km.Centroids, append([]float64(nil), p...))
+			dup := false
+			for _, c := range km.Centroids {
+				if samePoint(c, p) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				km.Centroids = append(km.Centroids, append([]float64(nil), p...))
+			}
 		}
-		return km
+		return km, nil
 	}
-	dim := len(points[0])
 	centroids := seedPlusPlus(points, k, src)
 	assign := make([]int, len(points))
-	counts := make([]int, k)
+	counts := make([]int, len(centroids))
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for i, p := range points {
@@ -76,10 +107,13 @@ func Fit(points [][]float64, k, maxIter int, src *rng.Source) *KMeans {
 			}
 		}
 	}
-	return &KMeans{Centroids: centroids}
+	return &KMeans{Centroids: centroids}, nil
 }
 
-// seedPlusPlus picks k initial centroids with D^2 weighting.
+// seedPlusPlus picks up to k initial centroids with D^2 weighting. When
+// every remaining point coincides with an existing centroid it stops
+// early and returns fewer, pairwise-distinct centroids rather than
+// re-picking an already-chosen point.
 func seedPlusPlus(points [][]float64, k int, src *rng.Source) [][]float64 {
 	centroids := make([][]float64, 0, k)
 	first := points[src.Intn(len(points))]
@@ -92,24 +126,52 @@ func seedPlusPlus(points [][]float64, k int, src *rng.Source) [][]float64 {
 			d2[i] = d
 			total += d
 		}
-		var pick int
 		//schemble:floateq-ok total sums non-negative distances; it is exactly 0 only when every point coincides with a centroid
 		if total == 0 {
-			pick = src.Intn(len(points))
-		} else {
-			r := src.Float64() * total
-			var cum float64
+			break
+		}
+		r := src.Float64() * total
+		pick := -1
+		var cum float64
+		for i, d := range d2 {
+			if d <= 0 {
+				// Zero-distance points duplicate an existing centroid;
+				// they carry no weight and must never be picked (r may be
+				// exactly 0).
+				continue
+			}
+			cum += d
+			if cum >= r {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// Float round-off left cum just under r: take the farthest point.
+			best := 0.0
 			for i, d := range d2 {
-				cum += d
-				if cum >= r {
-					pick = i
-					break
+				if d > best {
+					best, pick = d, i
 				}
 			}
 		}
 		centroids = append(centroids, append([]float64(nil), points[pick]...))
 	}
 	return centroids
+}
+
+// samePoint reports exact coordinate equality.
+func samePoint(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//schemble:floateq-ok duplicate-centroid detection: only bitwise-equal points collapse into one centroid
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sqDist(a, b []float64) float64 {
@@ -131,11 +193,28 @@ func nearest(centroids [][]float64, p []float64) int {
 	return best
 }
 
-// Assign returns the index of the centroid closest to p.
-func (km *KMeans) Assign(p []float64) int { return nearest(km.Centroids, p) }
+// Assign returns the index of the centroid closest to p. It panics when
+// p's dimensionality differs from the fitted space: sqDist ranges over
+// the shorter vector, so a mismatched point would be silently mislabeled
+// — and, used as a cache key, would alias across feature spaces.
+func (km *KMeans) Assign(p []float64) int {
+	if len(p) != km.Dim() {
+		panic(fmt.Sprintf("cluster: Assign called with dim %d, fitted dim is %d", len(p), km.Dim()))
+	}
+	return nearest(km.Centroids, p)
+}
 
 // K returns the number of clusters.
 func (km *KMeans) K() int { return len(km.Centroids) }
+
+// Dim returns the dimensionality of the fitted feature space (0 for an
+// empty model).
+func (km *KMeans) Dim() int {
+	if len(km.Centroids) == 0 {
+		return 0
+	}
+	return len(km.Centroids[0])
+}
 
 // Inertia returns the total within-cluster squared distance of points.
 func (km *KMeans) Inertia(points [][]float64) float64 {

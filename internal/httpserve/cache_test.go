@@ -1,0 +1,119 @@
+package httpserve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"schemble/internal/cluster"
+	"schemble/internal/core"
+	"schemble/internal/rcache"
+	"schemble/internal/rng"
+	"schemble/internal/serve"
+)
+
+// startCachedServer spins up the HTTP stack over a runtime with the result
+// cache enabled and every query admitted.
+func startCachedServer(t *testing.T) (*Client, string) {
+	t.Helper()
+	a := artifacts(t)
+	points := make([][]float64, len(a.Serve))
+	for i, s := range a.Serve {
+		points[i] = s.Features
+	}
+	km, err := cluster.Fit(points, 64, 30, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(Config{
+		Server: serve.New(serve.Config{
+			Ensemble:  a.Ensemble,
+			Scheduler: &core.DP{Delta: 0.01},
+			Rewarder:  a.Profile,
+			Estimator: a.Predictor,
+			TimeScale: 0.05,
+			Seed:      1,
+			Cache:     rcache.Config{Keyer: rcache.CentroidKeyer{KM: km}, DifficultyMax: 1},
+		}),
+		Estimator: a.Predictor,
+		Pool:      a.Serve,
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		h.Close()
+	})
+	return NewClient(ts.URL), ts.URL
+}
+
+// TestCacheSurfaces drives a miss-then-hit pair through HTTP and checks
+// both the /v1/stats JSON object and the /v1/metrics exposition report it.
+func TestCacheSurfaces(t *testing.T) {
+	c, url := startCachedServer(t)
+	a := artifacts(t)
+	for i := 0; i < 2; i++ {
+		resp, err := c.Predict(a.Serve[0].ID, 500*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Missed {
+			t.Fatalf("request %d missed", i)
+		}
+		if want := i == 1; resp.Cached != want {
+			t.Errorf("request %d cached = %v, want %v", i, resp.Cached, want)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Runtime.Cache
+	if cs == nil {
+		t.Fatal("stats omit the cache object on a cached deployment")
+	}
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Fills != 1 || cs.HitRate != 0.5 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 1 fill", cs)
+	}
+
+	res, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`schemble_cache_requests_total{result="hit"} 1`,
+		`schemble_cache_requests_total{result="miss"} 1`,
+		`schemble_cache_requests_total{result="bypass"} 0`,
+		`schemble_cache_fills_total 1`,
+		`schemble_cache_entries 1`,
+		`schemble_cache_hit_rate 0.5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestCacheSurfacesOmittedWhenOff pins the cacheless wire format: no cache
+// object in stats, no cache series in metrics.
+func TestCacheSurfacesOmittedWhenOff(t *testing.T) {
+	c, _, a := startServer(t)
+	if _, err := c.Predict(a.Serve[0].ID, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runtime.Cache != nil {
+		t.Errorf("cacheless deployment reports cache stats: %+v", st.Runtime.Cache)
+	}
+}

@@ -63,7 +63,10 @@ type PredictResponse struct {
 	// Degraded marks requests served from a partial ensemble: some subset
 	// models failed or were still running at the deadline, and the output
 	// aggregates the models that completed (listed in Subset).
-	Degraded  bool      `json:"degraded,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Cached marks answers served from the result cache without any model
+	// execution; Subset names the models that produced the cached answer.
+	Cached    bool      `json:"cached,omitempty"`
 	Probs     []float64 `json:"probs,omitempty"`
 	Value     float64   `json:"value,omitempty"`
 	Subset    []int     `json:"subset,omitempty"`
@@ -126,6 +129,22 @@ type RuntimeStats struct {
 	Ladder      int          `json:"ladder"`
 	LadderState string       `json:"ladder_state"`
 	Classes     []ClassStats `json:"classes,omitempty"`
+	// Cache carries the result-cache counters; omitted when no cache is
+	// configured.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats mirrors rcache.Snapshot for the JSON API.
+type CacheStats struct {
+	Entries     int     `json:"entries"`
+	Capacity    int     `json:"capacity"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Bypasses    uint64  `json:"bypasses"`
+	Fills       uint64  `json:"fills"`
+	Evictions   uint64  `json:"evictions"`
+	Expirations uint64  `json:"expirations"`
+	HitRate     float64 `json:"hit_rate"`
 }
 
 // ClassStats mirrors serve.ClassStats for the JSON API.
@@ -301,6 +320,7 @@ func (h *Handler) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Missed:    res.Missed,
 		Rejected:  res.Rejected,
 		Degraded:  res.Degraded,
+		Cached:    res.Cached,
 		LatencyMS: float64(res.Latency) / float64(time.Millisecond),
 	}
 	if !res.Missed {
@@ -394,8 +414,29 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 		Ladder:      rt.Ladder,
 		LadderState: rt.LadderState,
 		Classes:     classStats(rt),
+		Cache:       cacheStats(rt),
 	}
 	writeJSON(w, out)
+}
+
+// cacheStats converts the runtime's result-cache snapshot to the JSON
+// shape; nil when no cache is configured.
+func cacheStats(rt serve.Stats) *CacheStats {
+	c := rt.Cache
+	if c == nil {
+		return nil
+	}
+	return &CacheStats{
+		Entries:     c.Entries,
+		Capacity:    c.Capacity,
+		Hits:        c.Hits,
+		Misses:      c.Misses,
+		Bypasses:    c.Bypasses,
+		Fills:       c.Fills,
+		Evictions:   c.Evictions,
+		Expirations: c.Expirations,
+		HitRate:     c.HitRate,
+	}
 }
 
 // classStats converts the runtime's per-class snapshot to the JSON shape.

@@ -86,6 +86,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(&b, "schemble_load %g\n", rt.Load)
 	writeHeader(&b, "schemble_ladder_state", "gauge", "Degradation-ladder rung (0 = full service).")
 	fmt.Fprintf(&b, "schemble_ladder_state %d\n", rt.Ladder)
+	writeCacheMetrics(&b, rt)
 	writeClassMetrics(&b, rt)
 	writeModelMetrics(&b, rt)
 	writeObserverMetrics(&b, h.srv.Observer())
@@ -103,6 +104,41 @@ func boolGauge(v bool) int {
 		return 1
 	}
 	return 0
+}
+
+// writeCacheMetrics renders the result-cache counters; cacheless
+// deployments render nothing.
+func writeCacheMetrics(b *strings.Builder, rt serve.Stats) {
+	c := rt.Cache
+	if c == nil {
+		return
+	}
+	writeHeader(b, "schemble_cache_requests_total", "counter", "Cache lookups by result.")
+	for _, result := range obsv.CacheOutcomes {
+		// Exhaustive over the cache taxonomy (enforced by the
+		// exhaustiveoutcome analyzer): a new cache outcome must pick its
+		// Snapshot counter here to appear in /v1/metrics.
+		var v uint64
+		switch result {
+		case obsv.CacheOutcomeHit:
+			v = c.Hits
+		case obsv.CacheOutcomeMiss:
+			v = c.Misses
+		case obsv.CacheOutcomeBypass:
+			v = c.Bypasses
+		}
+		fmt.Fprintf(b, "schemble_cache_requests_total{result=%q} %d\n", result, v)
+	}
+	writeHeader(b, "schemble_cache_fills_total", "counter", "Entries written on miss resolution.")
+	fmt.Fprintf(b, "schemble_cache_fills_total %d\n", c.Fills)
+	writeHeader(b, "schemble_cache_evictions_total", "counter", "Entries evicted by LRU capacity pressure.")
+	fmt.Fprintf(b, "schemble_cache_evictions_total %d\n", c.Evictions)
+	writeHeader(b, "schemble_cache_expirations_total", "counter", "Entries dropped at lookup for exceeding the TTL.")
+	fmt.Fprintf(b, "schemble_cache_expirations_total %d\n", c.Expirations)
+	writeHeader(b, "schemble_cache_entries", "gauge", "Live cache entries.")
+	fmt.Fprintf(b, "schemble_cache_entries %d\n", c.Entries)
+	writeHeader(b, "schemble_cache_hit_rate", "gauge", "Hits over hits+misses (bypasses excluded).")
+	fmt.Fprintf(b, "schemble_cache_hit_rate %g\n", c.HitRate)
 }
 
 // writeClassMetrics renders per-class admission/outcome metrics; classless

@@ -21,6 +21,22 @@ const (
 // Outcomes lists every outcome label, in severity order.
 var Outcomes = []string{OutcomeServed, OutcomeDegraded, OutcomeMissed, OutcomeRejected}
 
+// Cache-outcome labels for DecisionTrace.Cache, matching the result
+// cache's lookup taxonomy (internal/rcache): a hit is served from the
+// cache without dispatch, a miss runs the ensemble and fills on a clean
+// resolve, and a bypass is a query the difficulty gate (or an unkeyable
+// feature vector) excluded from caching entirely. Dispatch sites over
+// this family are checked exhaustively by the exhaustiveoutcome
+// analyzer, exactly like the Outcome* family.
+const (
+	CacheOutcomeHit    = "hit"
+	CacheOutcomeMiss   = "miss"
+	CacheOutcomeBypass = "bypass"
+)
+
+// CacheOutcomes lists every cache-outcome label.
+var CacheOutcomes = []string{CacheOutcomeHit, CacheOutcomeMiss, CacheOutcomeBypass}
+
 // Alternative is one candidate subset the scheduler weighed for a query,
 // with its profiled reward at the query's discrepancy score.
 type Alternative struct {
@@ -81,6 +97,10 @@ type DecisionTrace struct {
 	// degraded results, empty for misses and rejections).
 	Outcome string
 	Served  []int
+	// Cache is the result-cache outcome for this request — one of the
+	// CacheOutcome* labels, or empty when the runtime has no cache
+	// configured (preserving the pre-cache trace wire format verbatim).
+	Cache string
 }
 
 // traceJSON is the wire form of a DecisionTrace: durations in
@@ -109,6 +129,7 @@ type traceJSON struct {
 	Timeouts     int           `json:"timeouts,omitempty"`
 	Outcome      string        `json:"outcome"`
 	Served       []int         `json:"served,omitempty"`
+	Cache        string        `json:"cache,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
@@ -136,6 +157,7 @@ func (t DecisionTrace) MarshalJSON() ([]byte, error) {
 		Timeouts:     t.Timeouts,
 		Outcome:      t.Outcome,
 		Served:       t.Served,
+		Cache:        t.Cache,
 	}
 	if t.BusyUntil != nil {
 		w.BusyUntilUS = make([]int64, len(t.BusyUntil))
@@ -175,6 +197,7 @@ func (t *DecisionTrace) UnmarshalJSON(data []byte) error {
 		Timeouts:     w.Timeouts,
 		Outcome:      w.Outcome,
 		Served:       w.Served,
+		Cache:        w.Cache,
 	}
 	if w.BusyUntilUS != nil {
 		t.BusyUntil = make([]time.Duration, len(w.BusyUntilUS))

@@ -165,7 +165,12 @@ func TrainDES(cfg DESConfig, samples []*dataset.Sample, perModelAgree [][]float6
 	for i, s := range samples {
 		points[i] = s.Features
 	}
-	km := cluster.Fit(points, cfg.Regions, 30, rng.New(cfg.Seed^0xde5))
+	km, err := cluster.Fit(points, cfg.Regions, 30, rng.New(cfg.Seed^0xde5))
+	if err != nil {
+		// Unreachable: the empty-samples guard above and the dataset's
+		// fixed feature width rule out every Fit error.
+		panic("policy: " + err.Error())
+	}
 	m := len(perModelAgree[0])
 	comp := make([][]float64, km.K())
 	counts := make([]int, km.K())

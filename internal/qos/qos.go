@@ -464,14 +464,26 @@ func (c *Controller) Admit(now time.Duration, i int) bool {
 	return false
 }
 
+// maxRetryAfter caps the back-off hint: past an hour the estimate carries
+// no information a client could act on, and capping in float space keeps
+// the load*Target product from overflowing time.Duration's int64 range
+// under extreme backlogs.
+const maxRetryAfter = time.Hour
+
 // RetryAfter derives a back-off hint from the load estimate: roughly how
-// long (virtual time) until the smoothed backlog drains, never less than
-// one Target. Callers convert to wall time and round up to whole seconds
-// for the HTTP header.
+// long (virtual time) until the smoothed backlog drains, clamped to
+// [Target, maxRetryAfter]. Callers convert to wall time and round up to
+// whole seconds for the HTTP header.
 func (c *Controller) RetryAfter() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d := time.Duration(c.load * float64(c.tun.Target))
+	f := c.load * float64(c.tun.Target)
+	// Compare before converting: a huge or NaN product would wrap or
+	// poison the int64 conversion, turning an overload hint negative.
+	if math.IsNaN(f) || f > float64(maxRetryAfter) {
+		return maxRetryAfter
+	}
+	d := time.Duration(f)
 	if d < c.tun.Target {
 		d = c.tun.Target
 	}

@@ -1,6 +1,7 @@
 package qos
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -404,5 +405,71 @@ func TestDeterministicReplay(t *testing.T) {
 				t.Fatalf("step %d: state diverged", i)
 			}
 		}
+	}
+}
+
+// TestRetryAfterExtremeLoad is the overflow regression: with a tiny
+// capacity and an astronomically large backlog the load*Target product
+// exceeds int64 nanoseconds, and the naive conversion wrapped negative —
+// an overloaded server telling clients to retry immediately. The hint
+// must stay clamped to [Target, maxRetryAfter] at every load.
+func TestRetryAfterExtremeLoad(t *testing.T) {
+	c := New(Config{Classes: threeClasses(), Tuning: Tuning{Capacity: 1e-9}})
+	now := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		now += 100 * time.Millisecond
+		c.Observe(now, math.MaxInt32, 1)
+	}
+	if load := c.Load(); load < 1e12 {
+		t.Fatalf("load = %g; fixture failed to reach an overflowing regime", load)
+	}
+	ra := c.RetryAfter()
+	if ra <= 0 {
+		t.Fatalf("RetryAfter = %v under extreme load; overflow wrapped negative", ra)
+	}
+	if ra != maxRetryAfter {
+		t.Errorf("RetryAfter = %v, want the %v cap", ra, maxRetryAfter)
+	}
+}
+
+// TestRetryAfterIdleAndNaN pins the two degenerate regimes: an idle
+// controller (load 0, or never observed) hints exactly one Target, and a
+// NaN load — unreachable through the public API, but guarded so a future
+// estimator bug degrades to the cap instead of a negative header.
+func TestRetryAfterIdleAndNaN(t *testing.T) {
+	c := New(Config{Classes: threeClasses(), Tuning: Tuning{Capacity: 10}})
+	if got := c.RetryAfter(); got != c.tun.Target {
+		t.Errorf("unobserved RetryAfter = %v, want Target %v", got, c.tun.Target)
+	}
+	c.Observe(100*time.Millisecond, 0, 0)
+	if got := c.RetryAfter(); got != c.tun.Target {
+		t.Errorf("idle RetryAfter = %v, want Target %v", got, c.tun.Target)
+	}
+	c.mu.Lock()
+	c.load = math.NaN()
+	c.mu.Unlock()
+	if got := c.RetryAfter(); got != maxRetryAfter {
+		t.Errorf("NaN-load RetryAfter = %v, want the %v cap", got, maxRetryAfter)
+	}
+}
+
+// TestRetryAfterMonotoneThroughCap sweeps loads across twelve orders of
+// magnitude: the hint must be non-decreasing all the way into the cap.
+func TestRetryAfterMonotoneThroughCap(t *testing.T) {
+	prev := time.Duration(-1)
+	for exp := 0; exp <= 12; exp++ {
+		c := New(Config{Classes: threeClasses(), Tuning: Tuning{Capacity: 10}})
+		c.mu.Lock()
+		c.load = math.Pow(10, float64(exp))
+		c.seen = true
+		c.mu.Unlock()
+		ra := c.RetryAfter()
+		if ra < prev {
+			t.Fatalf("RetryAfter shrank at load 1e%d: %v (prev %v)", exp, ra, prev)
+		}
+		if ra <= 0 || ra > maxRetryAfter {
+			t.Fatalf("RetryAfter = %v at load 1e%d, outside (0, %v]", ra, exp, maxRetryAfter)
+		}
+		prev = ra
 	}
 }

@@ -1,0 +1,198 @@
+package rcache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"schemble/internal/cluster"
+	"schemble/internal/model"
+	"schemble/internal/obsv"
+	"schemble/internal/rng"
+)
+
+// modKeyer keys on the integer part of the first feature, modulo mod.
+type modKeyer struct{ mod int }
+
+func (m modKeyer) Key(f []float64) (int, bool) {
+	if len(f) == 0 {
+		return 0, false
+	}
+	return int(f[0]) % m.mod, true
+}
+
+func val(id int) Value {
+	return Value{Output: model.Output{Value: float64(id)}}
+}
+
+func TestDisabledConfig(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports enabled")
+	}
+	if c := New(Config{}); c != nil {
+		t.Error("New(zero Config) != nil")
+	}
+}
+
+func TestHitMissBypass(t *testing.T) {
+	c := New(Config{Keyer: modKeyer{8}, DifficultyMax: 0.5})
+	f := []float64{3}
+
+	if _, _, out := c.Lookup(0, f, 0.9); out != obsv.CacheOutcomeBypass {
+		t.Fatalf("hard query outcome = %q, want bypass", out)
+	}
+	v, key, out := c.Lookup(0, f, 0.1)
+	if out != obsv.CacheOutcomeMiss || key != 3 {
+		t.Fatalf("cold lookup = (%v, %d, %q), want miss on key 3", v, key, out)
+	}
+	c.Fill(0, key, val(42))
+	v, _, out = c.Lookup(time.Second, f, 0.1)
+	if out != obsv.CacheOutcomeHit || v.Output.Value != 42 {
+		t.Fatalf("warm lookup = (%v, %q), want hit with value 42", v, out)
+	}
+	// Unkeyable features bypass even when easy.
+	if _, _, out := c.Lookup(0, nil, 0.1); out != obsv.CacheOutcomeBypass {
+		t.Fatalf("unkeyable outcome = %q, want bypass", out)
+	}
+
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 1 || s.Bypasses != 2 || s.Fills != 1 {
+		t.Errorf("snapshot = %+v, want 1 hit / 1 miss / 2 bypasses / 1 fill", s)
+	}
+	if s.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", s.HitRate)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(Config{Keyer: modKeyer{8}, TTL: 10 * time.Second, DifficultyMax: 1})
+	f := []float64{1}
+	c.Fill(0, 1, val(7))
+	if _, _, out := c.Lookup(5*time.Second, f, 0); out != obsv.CacheOutcomeHit {
+		t.Fatalf("within TTL = %q, want hit", out)
+	}
+	if _, _, out := c.Lookup(11*time.Second, f, 0); out != obsv.CacheOutcomeMiss {
+		t.Fatalf("past TTL = %q, want miss", out)
+	}
+	if s := c.Snapshot(); s.Expirations != 1 || s.Entries != 0 {
+		t.Errorf("snapshot = %+v, want 1 expiration, 0 entries", s)
+	}
+	// Refill restarts the staleness clock.
+	c.Fill(12*time.Second, 1, val(8))
+	if v, _, out := c.Lookup(21*time.Second, f, 0); out != obsv.CacheOutcomeHit || v.Output.Value != 8 {
+		t.Fatalf("refilled lookup = (%v, %q), want hit with value 8", v, out)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Keyer: modKeyer{16}, Capacity: 2, DifficultyMax: 1})
+	c.Fill(0, 1, val(1))
+	c.Fill(0, 2, val(2))
+	// Touch key 1 so key 2 becomes the LRU victim.
+	if _, _, out := c.Lookup(0, []float64{1}, 0); out != obsv.CacheOutcomeHit {
+		t.Fatal("expected hit on key 1")
+	}
+	c.Fill(0, 3, val(3))
+	if s := c.Snapshot(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("snapshot = %+v, want 1 eviction, 2 entries", s)
+	}
+	if _, _, out := c.Lookup(0, []float64{2}, 0); out != obsv.CacheOutcomeMiss {
+		t.Error("evicted key 2 still present")
+	}
+	for _, k := range []float64{1, 3} {
+		if _, _, out := c.Lookup(0, []float64{k}, 0); out != obsv.CacheOutcomeHit {
+			t.Errorf("key %v evicted, want retained", k)
+		}
+	}
+}
+
+func TestCentroidKeyer(t *testing.T) {
+	src := rng.New(1)
+	points := [][]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	km, err := cluster.Fit(points, 2, 20, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := CentroidKeyer{KM: km}
+	a, ok := ck.Key([]float64{0.05, 0})
+	if !ok {
+		t.Fatal("in-space vector unkeyable")
+	}
+	b, ok := ck.Key([]float64{10.05, 10})
+	if !ok || a == b {
+		t.Fatalf("distinct regions share key %d", a)
+	}
+	// Dimension mismatches and nil models must degrade to bypass, never
+	// panic or alias.
+	if _, ok := ck.Key([]float64{1}); ok {
+		t.Error("dim-mismatched vector keyed")
+	}
+	if _, ok := (CentroidKeyer{}).Key([]float64{0, 0}); ok {
+		t.Error("nil model keyed")
+	}
+}
+
+// TestDeterministicReplay pins the qos-style contract: the same
+// (Config, call-sequence) yields identical outcomes and counters.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]string, Snapshot) {
+		c := New(Config{Keyer: modKeyer{4}, Capacity: 3, TTL: 8 * time.Second, DifficultyMax: 0.6})
+		var outs []string
+		for i := 0; i < 200; i++ {
+			now := time.Duration(i) * 100 * time.Millisecond
+			f := []float64{float64(i % 7)}
+			score := float64(i%10) / 10
+			_, key, out := c.Lookup(now, f, score)
+			outs = append(outs, out)
+			if out == obsv.CacheOutcomeMiss && i%3 != 0 {
+				c.Fill(now, key, val(i))
+			}
+		}
+		return outs, c.Snapshot()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("snapshots differ: %+v vs %+v", s1, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d differs: %q vs %q", i, o1[i], o2[i])
+		}
+	}
+}
+
+// TestAccountingExactlyOnce hammers the cache from many goroutines under
+// -race and checks that every Lookup lands in exactly one outcome
+// counter and fills never exceed misses.
+func TestAccountingExactlyOnce(t *testing.T) {
+	c := New(Config{Keyer: modKeyer{32}, Capacity: 16, TTL: time.Minute, DifficultyMax: 0.5})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				now := time.Duration(i) * time.Millisecond
+				f := []float64{float64((w*perWorker + i) % 40)}
+				score := float64(i%4) / 4
+				_, key, out := c.Lookup(now, f, score)
+				if out == obsv.CacheOutcomeMiss {
+					c.Fill(now, key, val(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if got := s.Hits + s.Misses + s.Bypasses; got != workers*perWorker {
+		t.Errorf("hits+misses+bypasses = %d, want %d (exactly-once)", got, workers*perWorker)
+	}
+	if s.Fills > s.Misses {
+		t.Errorf("fills %d > misses %d", s.Fills, s.Misses)
+	}
+	if s.Entries > 16 {
+		t.Errorf("entries %d exceed capacity 16", s.Entries)
+	}
+}

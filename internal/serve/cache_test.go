@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"schemble/internal/cluster"
+	"schemble/internal/core"
+	"schemble/internal/obsv"
+	"schemble/internal/pipeline"
+	"schemble/internal/rcache"
+	"schemble/internal/rng"
+	"schemble/internal/sim"
+	"schemble/internal/trace"
+)
+
+// testKeyer fits a small centroid keyer on the serving pool's feature
+// space.
+func testKeyer(t *testing.T, a *pipeline.Artifacts, k int) rcache.CentroidKeyer {
+	t.Helper()
+	points := make([][]float64, len(a.Serve))
+	for i, s := range a.Serve {
+		points[i] = s.Features
+	}
+	km, err := cluster.Fit(points, k, 30, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rcache.CentroidKeyer{KM: km}
+}
+
+func newCacheServer(t *testing.T, a *pipeline.Artifacts, cc rcache.Config) *Server {
+	t.Helper()
+	return New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: 0.1,
+		Seed:      1,
+		Cache:     cc,
+	})
+}
+
+// TestServeCacheBitIdenticalWhenOff pins the zero-config guarantee with a
+// twin pair: a server with no cache configured and one whose cache is on
+// but gated shut (negative difficulty threshold — every lookup is a
+// bypass) must produce bit-identical Results request for request, because
+// a bypass never touches planning, dispatch, or the RNG.
+func TestServeCacheBitIdenticalWhenOff(t *testing.T) {
+	a := artifacts(t)
+	plain := newServer(t, a)
+	if plain.Stats().Cache != nil {
+		t.Fatal("zero-value Cache config built a cache")
+	}
+	gated := newCacheServer(t, a, rcache.Config{Keyer: testKeyer(t, a, 4), DifficultyMax: -1})
+	plain.Start(context.Background())
+	defer plain.Stop()
+	gated.Start(context.Background())
+	defer gated.Stop()
+
+	const n = 25
+	for i := 0; i < n; i++ {
+		rp := <-plain.Submit(a.Serve[i], time.Second)
+		rg := <-gated.Submit(a.Serve[i], time.Second)
+		if rp.Missed || rg.Missed {
+			t.Fatalf("request %d missed: plain=%v gated=%v", i, rp.Missed, rg.Missed)
+		}
+		if rg.Cached {
+			t.Fatalf("request %d served from a fully gated cache", i)
+		}
+		if rp.Subset != rg.Subset {
+			t.Fatalf("request %d subset diverged: %v vs %v",
+				i, rp.Subset.Models(), rg.Subset.Models())
+		}
+		if !reflect.DeepEqual(rp.Output, rg.Output) {
+			t.Fatalf("request %d output not bit-identical with the cache gated shut", i)
+		}
+	}
+	cs := gated.Stats().Cache
+	if cs == nil || cs.Bypasses != n || cs.Hits+cs.Misses+cs.Fills != 0 {
+		t.Errorf("gated cache counters = %+v, want %d bypasses and nothing else", cs, n)
+	}
+}
+
+// TestServeCacheHitFlow drives one miss-fill-hit cycle end to end: the
+// first request for a sample runs the ensemble and fills its centroid
+// entry, the second resolves from the cache with the same subset and
+// output, and both the stats surface and the decision trace record the
+// outcomes.
+func TestServeCacheHitFlow(t *testing.T) {
+	a := artifacts(t)
+	s := New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: 0.1,
+		Seed:      1,
+		Obs:       obsv.Config{TraceBuffer: 8},
+		Cache:     rcache.Config{Keyer: testKeyer(t, a, 64), DifficultyMax: 1},
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+
+	first := <-s.Submit(a.Serve[0], time.Second)
+	if first.Missed || first.Cached {
+		t.Fatalf("first request: missed=%v cached=%v, want clean uncached serve",
+			first.Missed, first.Cached)
+	}
+	second := <-s.Submit(a.Serve[0], time.Second)
+	if !second.Cached || second.Missed {
+		t.Fatalf("second request: missed=%v cached=%v, want a cache hit",
+			second.Missed, second.Cached)
+	}
+	if second.Subset != first.Subset {
+		t.Errorf("cached subset %v differs from computed %v",
+			second.Subset.Models(), first.Subset.Models())
+	}
+	if !reflect.DeepEqual(second.Output, first.Output) {
+		t.Error("cached output differs from the computed one")
+	}
+
+	cs := s.Stats().Cache
+	if cs == nil || cs.Hits != 1 || cs.Misses != 1 || cs.Fills != 1 {
+		t.Errorf("cache counters = %+v, want 1 hit / 1 miss / 1 fill", cs)
+	}
+	if cs != nil && cs.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", cs.HitRate)
+	}
+	traces := s.Observer().Last(2)
+	if len(traces) != 2 {
+		t.Fatalf("recorded %d traces, want 2", len(traces))
+	}
+	if traces[0].Cache != obsv.CacheOutcomeMiss || traces[1].Cache != obsv.CacheOutcomeHit {
+		t.Errorf("trace cache outcomes = %q, %q; want miss then hit",
+			traces[0].Cache, traces[1].Cache)
+	}
+	if traces[1].Outcome != obsv.OutcomeServed {
+		t.Errorf("hit trace outcome = %q, want served", traces[1].Outcome)
+	}
+}
+
+// TestServeCacheAccountingConcurrent submits from many goroutines under
+// -race: every admitted request must land in exactly one cache-outcome
+// counter, and fills can never exceed misses.
+func TestServeCacheAccountingConcurrent(t *testing.T) {
+	a := artifacts(t)
+	s := newCacheServer(t, a, rcache.Config{Keyer: testKeyer(t, a, 16), DifficultyMax: 1})
+	s.Start(context.Background())
+	defer s.Stop()
+
+	const n = 48
+	results := make(chan Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- <-s.Submit(a.Serve[i%12], 2*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.Rejected {
+			t.Fatal("light concurrent load was rejected; accounting check void")
+		}
+	}
+	cs := s.Stats().Cache
+	if cs == nil {
+		t.Fatal("no cache snapshot")
+	}
+	if got := cs.Hits + cs.Misses + cs.Bypasses; got != n {
+		t.Errorf("hits+misses+bypasses = %d, want %d (exactly-once)", got, n)
+	}
+	if cs.Fills > cs.Misses {
+		t.Errorf("fills %d > misses %d", cs.Fills, cs.Misses)
+	}
+}
+
+// TestSimServeEquivalenceCached extends the cross-engine contract to the
+// result cache: on a seeded Zipf repeat-query trace with deterministic
+// spacing, both engines share the rcache implementation and must agree
+// per query on subset, outcome, and whether the answer came from the
+// cache — and on the aggregate hit/miss/bypass counters.
+func TestSimServeEquivalenceCached(t *testing.T) {
+	a := artifacts(t)
+	keyer := testKeyer(t, a, 4)
+	cacheCfg := rcache.Config{Keyer: keyer, Capacity: 64, DifficultyMax: 1}
+	const spacing = 400 * time.Millisecond
+	pool := a.Serve[:10]
+	ztr := trace.Zipfian(trace.ZipfianConfig{
+		Spacing: spacing, N: 18, Samples: pool,
+		Deadline: trace.ConstantDeadline(300 * time.Millisecond), Seed: 5,
+	})
+
+	recs, snap := sim.RunStats(sim.Config{
+		Ensemble:  a.Ensemble,
+		Refs:      a.Refs,
+		Scorer:    a.Scorer,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		Cache:     cacheCfg,
+		Seed:      1,
+	}, ztr, pool)
+	if snap.Hits == 0 {
+		t.Fatal("fixture produced no simulator cache hits; the Zipf trace lost its point")
+	}
+
+	const scale = 0.2
+	s := New(Config{
+		Ensemble:  a.Ensemble,
+		Scheduler: &core.DP{Delta: 0.01},
+		Rewarder:  a.Profile,
+		Estimator: a.Predictor,
+		TimeScale: scale,
+		Seed:      1,
+		Cache:     cacheCfg,
+	})
+	s.Start(context.Background())
+	defer s.Stop()
+	chans := make([]<-chan Result, ztr.N())
+	for i, arr := range ztr.Arrivals {
+		chans[i] = s.Submit(pool[arr.SampleIdx], arr.Deadline-arr.At)
+		//schemble:sleep-ok trace pacing: the equivalence contract requires each arrival to meet the same cache and fleet state as in the simulated trace
+		time.Sleep(time.Duration(float64(spacing) * scale))
+	}
+	for i := range chans {
+		var res Result
+		select {
+		case res = <-chans[i]:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("query %d never resolved in the runtime", i)
+		}
+		rec := recs[i]
+		if res.Cached != rec.Cached {
+			t.Errorf("query %d: runtime cached=%v, simulator cached=%v", i, res.Cached, rec.Cached)
+		}
+		if res.Subset != rec.Subset {
+			t.Errorf("query %d: runtime subset %v, simulator subset %v",
+				i, res.Subset.Models(), rec.Subset.Models())
+		}
+		if res.Missed != rec.Missed {
+			t.Errorf("query %d: runtime missed=%v, simulator missed=%v", i, res.Missed, rec.Missed)
+		}
+	}
+	cs := s.Stats().Cache
+	if cs == nil {
+		t.Fatal("no runtime cache snapshot")
+	}
+	if cs.Hits != snap.Hits || cs.Misses != snap.Misses || cs.Bypasses != snap.Bypasses {
+		t.Errorf("counter divergence: runtime %d/%d/%d, simulator %d/%d/%d (hits/misses/bypasses)",
+			cs.Hits, cs.Misses, cs.Bypasses, snap.Hits, snap.Misses, snap.Bypasses)
+	}
+}

@@ -97,10 +97,11 @@ func aggregateByClass(tr *trace.Trace, res []Result) map[string]*classAgg {
 // deadline-miss rate within 2x of an uncrowded baseline run.
 func TestServeFlashCrowdSoak(t *testing.T) {
 	a := artifacts(t)
-	// 10x compression (not more): the suite's packages run in parallel
+	// 5x compression (not more): the suite's packages run in parallel
 	// under -race, and tighter wall-clock deadlines turn CPU contention
-	// into spurious misses.
-	const scale = 0.1
+	// into spurious misses — at 10x the gold-DMR gate flaked once the
+	// suite grew enough neighbors.
+	const scale = 0.2
 	const horizon = 20 * time.Second
 	// Baseline: pure background at ~1x capacity (the crowd never starts
 	// inside the horizon, so only background arrivals materialize).

@@ -53,6 +53,7 @@ import (
 	"schemble/internal/model"
 	"schemble/internal/obsv"
 	"schemble/internal/qos"
+	"schemble/internal/rcache"
 	"schemble/internal/rng"
 )
 
@@ -121,6 +122,15 @@ type Config struct {
 	// defaults, with service capacity derived from the deployed models'
 	// mean latencies and replica counts.
 	Admission AdmissionConfig
+
+	// Cache opts into the difficulty-gated result cache (internal/rcache):
+	// easy queries (score at or below the configured threshold) whose
+	// centroid key holds a fresh entry resolve immediately from the cache
+	// — a zero-cost plan that never reaches the scheduler — and cacheable
+	// misses fill the entry when they resolve cleanly. The zero value
+	// disables caching and keeps every request on the pre-cache code
+	// paths bit-identically.
+	Cache rcache.Config
 }
 
 // Result is the outcome of one request.
@@ -143,7 +153,11 @@ type Result struct {
 	// class was above full service at commit time. Degraded results
 	// always carry at least one real model output.
 	Degraded bool
-	Latency  time.Duration
+	// Cached is true when the result was served from the result cache
+	// without dispatching any model work; Subset names the models that
+	// produced the cached answer.
+	Cached  bool
+	Latency time.Duration
 }
 
 // reqState is a request's lifecycle stage. Transitions are guarded by the
@@ -172,6 +186,13 @@ type request struct {
 	// committed level above LevelFull marks the result Degraded).
 	class int
 	level qos.Level
+
+	// cacheable marks a request whose cache lookup missed (written in
+	// SubmitClass before the request is shared, so resolve's fill-back
+	// read is ordered by the event-channel send); cacheKey is the entry
+	// it fills on a clean resolve.
+	cacheable bool
+	cacheKey  int
 
 	mu        sync.Mutex
 	state     reqState
@@ -295,6 +316,10 @@ type Server struct {
 	classStats    []classCounters
 	degradedSched *core.Greedy
 
+	// cache is the shared result cache, nil when Config.Cache is the zero
+	// value (caching off).
+	cache *rcache.Cache
+
 	// Health counters behind the Stats snapshot. buffered/inflight mirror
 	// the coordinator's private structures.
 	nSubmitted atomic.Uint64
@@ -402,6 +427,10 @@ type Stats struct {
 	Ladder      int
 	LadderState string
 	Classes     []ClassStats
+
+	// Cache is the result cache's counter snapshot; nil when caching is
+	// off.
+	Cache *rcache.Snapshot
 }
 
 // Healthy reports whether every model is schedulable: no breaker open and
@@ -442,6 +471,7 @@ func New(cfg Config) *Server {
 		events:   make(chan event, 4*cfg.QueueDepth),
 		src:      rng.New(cfg.Seed ^ 0x5e7e),
 		obs:      obsv.NewObserver(cfg.Obs),
+		cache:    rcache.New(cfg.Cache),
 		mstats:   make([]modelCounters, m),
 		breakers: make([]breakerState, m),
 		replicas: make([]int, m),
@@ -633,6 +663,10 @@ func (s *Server) Stats() Stats {
 	if s.classStats != nil {
 		st.Classes = s.classStatsFrom(snaps)
 	}
+	if s.cache != nil {
+		cs := s.cache.Snapshot()
+		st.Cache = &cs
+	}
 	for k, ch := range s.taskCh {
 		st.QueueDepth[k] = len(ch)
 		st.Forming[k] = int(s.forming[k].Load())
@@ -793,6 +827,36 @@ func (s *Server) SubmitClass(sample *dataset.Sample, deadline time.Duration, cla
 		req.tr.Score = req.score
 		//schemble:wallclock converts a wall instant to virtual time against the Start anchor
 		req.tr.Scored = time.Duration(float64(time.Since(s.start)) / s.scale)
+	}
+	if s.cache != nil {
+		//schemble:wallclock converts a wall instant to virtual time against the Start anchor
+		vnow := time.Duration(float64(time.Since(s.start)) / s.scale)
+		v, key, outcome := s.cache.Lookup(vnow, sample.Features, req.score)
+		if req.tr != nil {
+			req.tr.Cache = outcome
+		}
+		// Exhaustive over the cache taxonomy (enforced by the
+		// exhaustiveoutcome analyzer): a new cache outcome must decide its
+		// scheduling consequence here.
+		switch outcome {
+		case obsv.CacheOutcomeHit:
+			// Zero-cost plan: the cached answer resolves immediately,
+			// skipping the buffer, the scheduler, dispatch, and the
+			// deadline timer entirely.
+			s.resolve(req, Result{
+				Output: v.Output,
+				Subset: v.Subset,
+				Cached: true,
+				//schemble:wallclock latency is the wall-clock distance from arrival, descaled to virtual time
+				Latency: time.Duration(float64(time.Since(req.arrived)) / s.scale),
+			})
+			return req.done
+		case obsv.CacheOutcomeMiss:
+			// Cacheable: fill the entry when the request resolves cleanly.
+			req.cacheable, req.cacheKey = true, key
+		case obsv.CacheOutcomeBypass:
+			// Too hard (or unkeyable): the ensemble always runs.
+		}
 	}
 	select {
 	case s.events <- event{kind: evSubmit, req: req}:
@@ -1557,6 +1621,13 @@ func (s *Server) resolve(r *request, res Result) {
 		trace = &c
 	}
 	r.mu.Unlock()
+	if s.cache != nil && r.cacheable && !res.Missed && !res.Degraded {
+		// Clean full-quality resolve of a cacheable miss: fill the entry
+		// so the next query in this centroid region hits.
+		//schemble:wallclock converts the resolution instant to virtual time against the Start anchor
+		vnow := time.Duration(float64(time.Since(s.start)) / s.scale)
+		s.cache.Fill(vnow, r.cacheKey, rcache.Value{Output: res.Output, Subset: res.Subset})
+	}
 	switch {
 	case res.Rejected:
 		s.nRejected.Add(1)

@@ -32,7 +32,9 @@ import (
 	"schemble/internal/ensemble"
 	"schemble/internal/metrics"
 	"schemble/internal/model"
+	"schemble/internal/obsv"
 	"schemble/internal/qos"
+	"schemble/internal/rcache"
 	"schemble/internal/rng"
 	"schemble/internal/trace"
 )
@@ -112,6 +114,13 @@ type Config struct {
 	// capacity derived from mean latencies and replica counts).
 	Admission qos.Tuning
 
+	// Cache mirrors serve.Config.Cache: the difficulty-gated result cache
+	// (internal/rcache) with identical lookup/fill semantics — a hit
+	// finishes the query at arrival without dispatch, a cacheable miss
+	// fills the entry on a clean full-quality completion. The zero value
+	// disables caching. Cached mode requires buffered mode.
+	Cache rcache.Config
+
 	Seed uint64
 }
 
@@ -171,6 +180,11 @@ type query struct {
 	remaining int
 	outs      []model.Output
 	finished  bool
+
+	// cacheable marks a query whose cache lookup missed; cacheKey is the
+	// entry it fills on a clean completion.
+	cacheable bool
+	cacheKey  int
 }
 
 type task struct {
@@ -218,11 +232,22 @@ type sim struct {
 	qosCtl        *qos.Controller
 	degradedSched *core.Greedy
 	lastSlack     float64
+
+	// cache is the result cache, nil when Config.Cache is the zero value.
+	cache *rcache.Cache
 }
 
 // Run simulates the trace against the configured pipeline and returns one
 // record per arrival, ordered by query ID (= trace order).
 func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Record {
+	records, _ := RunStats(cfg, tr, samples)
+	return records
+}
+
+// RunStats is Run plus the result cache's counter snapshot (zero when
+// caching is off) so soaks and tests can report hit rates without
+// re-deriving them from records.
+func RunStats(cfg Config, tr *trace.Trace, samples []*dataset.Sample) ([]metrics.Record, rcache.Snapshot) {
 	if (cfg.Select == nil) == (cfg.Scheduler == nil) {
 		panic("sim: exactly one of Select / Scheduler must be set")
 	}
@@ -232,6 +257,9 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 	if len(cfg.Classes) > 0 && cfg.Scheduler == nil {
 		panic("sim: Classes require buffered mode")
 	}
+	if cfg.Cache.Enabled() && cfg.Scheduler == nil {
+		panic("sim: Cache requires buffered mode")
+	}
 	s := &sim{
 		cfg:     cfg,
 		samples: samples,
@@ -239,6 +267,7 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 		tr:      tr,
 		records: make([]metrics.Record, tr.N()),
 		batch:   model.BatchCurve{Marginal: cfg.BatchMarginal},
+		cache:   rcache.New(cfg.Cache),
 	}
 	m := cfg.Ensemble.M()
 	replicas := cfg.Replicas
@@ -294,7 +323,11 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 		s.now = e.at
 		s.handle(e)
 	}
-	return s.records
+	var snap rcache.Snapshot
+	if s.cache != nil {
+		snap = s.cache.Snapshot()
+	}
+	return s.records, snap
 }
 
 func (s *sim) push(e *event) {
@@ -390,6 +423,28 @@ func (s *sim) onArrival(arrIdx int) {
 	// predictor has scored it.
 	if s.cfg.Estimator != nil {
 		q.score = s.cfg.Estimator.Predict(q.sample)
+	}
+	if s.cache != nil {
+		v, key, outcome := s.cache.Lookup(s.now, q.sample.Features, q.score)
+		// Exhaustive over the cache taxonomy (enforced by the
+		// exhaustiveoutcome analyzer), mirroring serve.SubmitClass.
+		switch outcome {
+		case obsv.CacheOutcomeHit:
+			// Zero-cost plan: the query finishes at arrival from the
+			// cached answer; no ready/deadline events are ever pushed.
+			q.finished = true
+			rec := &s.records[q.id]
+			rec.Done = s.now
+			rec.Subset = v.Subset
+			rec.Missed = false
+			rec.Cached = true
+			rec.Agreement = s.cfg.Scorer.Score(v.Output, s.cfg.Refs[q.sample.ID])
+			return
+		case obsv.CacheOutcomeMiss:
+			q.cacheable, q.cacheKey = true, key
+		case obsv.CacheOutcomeBypass:
+			// Too hard (or unkeyable): the ensemble always runs.
+		}
 	}
 	s.push(&event{at: s.now + s.cfg.ScoreDelay, kind: evReady, q: q})
 	s.push(&event{at: q.deadline, kind: evDeadline, q: q})
@@ -510,6 +565,11 @@ func (s *sim) finishTask(q *query) {
 	rec.Degraded = q.level > qos.LevelFull
 	out := s.cfg.Ensemble.Predict(q.outs, q.subset)
 	rec.Agreement = s.cfg.Scorer.Score(out, s.cfg.Refs[q.sample.ID])
+	if s.cache != nil && q.cacheable && !rec.Degraded {
+		// Clean full-quality completion of a cacheable miss: fill the
+		// entry, mirroring serve.resolve.
+		s.cache.Fill(s.now, q.cacheKey, rcache.Value{Output: out, Subset: q.subset})
+	}
 }
 
 // schedulePlan coalesces planning requests: at most one pending evPlan.
