@@ -13,9 +13,10 @@ GO ?= go
 check: vet build test-race
 
 # lint runs the schemble-vet analyzer suite (determinism, outcome
-# taxonomy, float equality, test sleeps, context threading), fails on
-# unformatted files, and runs govulncheck when available (the offline
-# dev container does not ship it; CI installs it).
+# taxonomy, float equality, test sleeps, context threading, engine
+# purity, Plan ownership, guarded-field lock discipline, atomic/plain
+# access mixing), fails on unformatted files, and runs govulncheck when
+# available (the offline dev container does not ship it; CI installs it).
 lint:
 	$(GO) run ./cmd/schemble-vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	schemble-vet [-only detrand,floateq] [packages]
+//	schemble-vet [-only detrand,floateq] [-json] [packages]
 //
 // Packages default to ./..., analyzed as `go list -test` sees them
 // (library and test files alike). The exit status is non-zero when any
-// diagnostic survives its //schemble: annotations.
+// diagnostic survives its //schemble: annotations. -json replaces the
+// human-readable lines with a JSON array of findings (always emitted,
+// empty when clean) for CI artifact upload and tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +26,19 @@ import (
 	"schemble/internal/analysis/suite"
 )
 
+// jsonDiag is the machine-readable form of one finding.
+type jsonDiag struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	Directive string `json:"directive,omitempty"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: schemble-vet [flags] [packages]\n\nanalyzers:\n")
 		for _, a := range suite.Analyzers() {
@@ -83,13 +97,35 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	for i := range diags {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Pos.Filename = rel
 			}
 		}
-		fmt.Println(d)
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:      d.Pos.Filename,
+				Line:      d.Pos.Line,
+				Col:       d.Pos.Column,
+				Analyzer:  d.Analyzer,
+				Message:   d.Message,
+				Directive: d.Directive,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "schemble-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "schemble-vet: %d finding(s)\n", len(diags))

@@ -26,8 +26,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one invariant checker. Unlike upstream
@@ -113,6 +115,22 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Unit.Fset.Position(pos).Filename, "_test.go")
 }
 
+// Annotation looks up a //schemble:<directive> annotation anchored at
+// pos's line (or the line directly above, the standalone form) and
+// returns its argument text. Unlike Report's suppression lookup this is
+// for DECLARATION directives — annotations an analyzer consumes as
+// input, such as guardedby's mutex name — and consuming one marks it
+// used, so a declaration its analyzer honors is never reported stale.
+// The directive must still appear in the analyzer's Directives list or
+// the grammar check will reject it as unknown.
+func (p *Pass) Annotation(pos token.Pos, directive string) (arg string, ok bool) {
+	an := p.ann.at(p.Unit.Fset.Position(pos), directive)
+	if an == nil {
+		return "", false
+	}
+	return an.why, true
+}
+
 // Report records a finding at pos unless a matching //schemble:directive
 // annotation suppresses it. directive may be empty for non-waivable
 // findings.
@@ -148,6 +166,11 @@ type Options struct {
 // directive, missing justification, and — under opts.ReportUnused —
 // stale annotations) are reported under the pseudo-analyzer
 // "annotation".
+//
+// Units are analyzed concurrently across GOMAXPROCS workers: every unit
+// is type-checked read-only state by this point, each Pass is private to
+// its (analyzer, unit) pairing, and the final position sort makes the
+// output order independent of scheduling.
 func Run(units []*Unit, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	known := make(map[string]bool)
 	for _, d := range opts.KnownDirectives {
@@ -159,40 +182,64 @@ func Run(units []*Unit, analyzers []*Analyzer, opts Options) ([]Diagnostic, erro
 		}
 	}
 
-	var diags []Diagnostic
-	collect := func(d Diagnostic) { diags = append(diags, d) }
-
+	var (
+		mu       sync.Mutex
+		diags    []Diagnostic
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
 	for _, u := range units {
-		ann := indexAnnotations(u)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Unit: u, ann: ann, report: collect}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.Path, err)
+		wg.Add(1)
+		go func(u *Unit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Diagnostic
+			collect := func(d Diagnostic) { local = append(local, d) }
+			ann := indexAnnotations(u)
+			for _, a := range analyzers {
+				pass := &Pass{Analyzer: a, Unit: u, ann: ann, report: collect}
+				if err := a.Run(pass); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("analyzer %s on %s: %w", a.Name, u.Path, err)
+					}
+					mu.Unlock()
+					return
+				}
 			}
-		}
-		for _, an := range ann.all {
-			switch {
-			case !known[an.name]:
-				collect(Diagnostic{
-					Pos:      an.pos,
-					Analyzer: "annotation",
-					Message: fmt.Sprintf("unknown //schemble: directive %q (known: %s)",
-						an.name, strings.Join(sortedKeys(known), ", ")),
-				})
-			case an.why == "":
-				collect(Diagnostic{
-					Pos:      an.pos,
-					Analyzer: "annotation",
-					Message:  fmt.Sprintf("//schemble:%s needs a one-line justification after the directive", an.name),
-				})
-			case opts.ReportUnused && !an.used:
-				collect(Diagnostic{
-					Pos:      an.pos,
-					Analyzer: "annotation",
-					Message:  fmt.Sprintf("stale //schemble:%s annotation: it suppresses nothing on this or the next line", an.name),
-				})
+			for _, an := range ann.all {
+				switch {
+				case !known[an.name]:
+					collect(Diagnostic{
+						Pos:      an.pos,
+						Analyzer: "annotation",
+						Message: fmt.Sprintf("unknown //schemble: directive %q (known: %s)",
+							an.name, strings.Join(sortedKeys(known), ", ")),
+					})
+				case an.why == "":
+					collect(Diagnostic{
+						Pos:      an.pos,
+						Analyzer: "annotation",
+						Message:  fmt.Sprintf("//schemble:%s needs a one-line justification after the directive", an.name),
+					})
+				case opts.ReportUnused && !an.used:
+					collect(Diagnostic{
+						Pos:      an.pos,
+						Analyzer: "annotation",
+						Message:  fmt.Sprintf("stale //schemble:%s annotation: it suppresses nothing on this or the next line", an.name),
+					})
+				}
 			}
-		}
+			mu.Lock()
+			diags = append(diags, local...)
+			mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	sort.Slice(diags, func(i, j int) bool {
@@ -206,7 +253,10 @@ func Run(units []*Unit, analyzers []*Analyzer, opts Options) ([]Diagnostic, erro
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

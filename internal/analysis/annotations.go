@@ -65,17 +65,24 @@ func indexAnnotations(u *Unit) *annIndex {
 // justification) still suppresses — the grammar check will flag the
 // annotation itself, and reporting both would be noise.
 func (idx *annIndex) suppress(pos token.Position, directive string) bool {
+	return idx.at(pos, directive) != nil
+}
+
+// at returns an annotation with the given directive covering the
+// position (same line, or the line directly above), marking it used;
+// nil when none does.
+func (idx *annIndex) at(pos token.Position, directive string) *annotation {
 	lines := idx.byLine[pos.Filename]
 	if lines == nil {
-		return false
+		return nil
 	}
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
 		for _, an := range lines[line] {
 			if an.name == directive {
 				an.used = true
-				return true
+				return an
 			}
 		}
 	}
-	return false
+	return nil
 }

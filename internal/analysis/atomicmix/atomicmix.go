@@ -1,0 +1,102 @@
+// Package atomicmix enforces the cardinal rule of sync/atomic: a
+// memory location is either always accessed atomically or never — one
+// plain read racing an atomic.AddUint64 is a data race the compiler
+// accepts and the race detector only catches when the interleaving
+// actually happens in a test run. The analyzer collects every variable
+// and struct field whose address is passed to a sync/atomic operation
+// anywhere in the package, then flags every plain (non-atomic) read or
+// write of the same location. Typed atomics (atomic.Uint64 and
+// friends) need no analyzer — their values are unreachable without the
+// method set — and are the recommended fix.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"schemble/internal/analysis"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag plain reads/writes of variables and fields that are accessed via " +
+		"sync/atomic elsewhere in the package",
+	Directives: []string{"atomic-ok"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo()
+
+	// Pass 1: find every location the package accesses atomically. The
+	// identifier inside the &x or &s.f operand is remembered so pass 2
+	// does not flag the atomic call's own argument.
+	atomicObjs := make(map[*types.Var]bool)
+	atomicSites := make(map[*ast.Ident]bool)
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if id := accessIdent(addr.X); id != nil {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					atomicObjs[v] = true
+					atomicSites[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those locations is a plain access.
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicSites[id] {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || !atomicObjs[v] {
+				return true
+			}
+			pass.Report(id.Pos(), "atomic-ok",
+				"plain access of %s, which is accessed via sync/atomic elsewhere in %s: mixing atomic and plain access is a data race — use the atomic API everywhere or a typed atomic",
+				v.Name(), pass.Unit.Base)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether the call invokes a sync/atomic
+// package-level operation taking an address (Add*, Load*, Store*,
+// Swap*, CompareAndSwap*).
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// accessIdent returns the identifier naming the accessed location: the
+// ident itself for plain variables, the selected field for s.f chains.
+// Element addresses (&xs[i]) are not tracked — per-element identity is
+// beyond object granularity, and the repo's per-element atomics are all
+// typed.
+func accessIdent(x ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/atomicmix"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestAtomicMix(t *testing.T) {
+	testkit.Run(t, atomicmix.Analyzer, "example.com/counters")
+}

@@ -1,0 +1,50 @@
+// Package counters exercises atomicmix: the served field is accessed
+// via sync/atomic in Inc, so every plain touch of it elsewhere is a
+// race, while fully-plain and fully-typed fields stay silent.
+package counters
+
+import "sync/atomic"
+
+// Stats mixes one atomic counter with conventional state.
+type Stats struct {
+	served uint64
+	// plain is never accessed atomically; plain access is fine.
+	plain uint64
+	// typed uses the typed-atomic API, unreachable without methods.
+	typed atomic.Uint64
+}
+
+// hits is a package-level location accessed both ways.
+var hits uint64
+
+// Inc is the atomic side of the mix: these calls establish the
+// contract pass 2 enforces, and are themselves clean.
+func (s *Stats) Inc() {
+	atomic.AddUint64(&s.served, 1)
+	atomic.AddUint64(&hits, 1)
+	s.typed.Add(1)
+	s.plain++
+}
+
+// Read races Inc with plain loads.
+func (s *Stats) Read() uint64 {
+	if s.served > 0 { // want "plain access of served, which is accessed via sync/atomic elsewhere"
+		return s.served + hits // want "plain access of served" "plain access of hits"
+	}
+	return atomic.LoadUint64(&s.served) + s.typed.Load() + s.plain
+}
+
+// Reset races Inc with plain stores.
+func (s *Stats) Reset() {
+	s.served = 0 // want "plain access of served"
+	hits = 0     // want "plain access of hits"
+	atomic.StoreUint64(&s.served, 0)
+}
+
+// Audited is the escape hatch: construction happens before the value
+// is published, so the plain write cannot race.
+func Audited() *Stats {
+	s := new(Stats)
+	s.served = 1 //schemble:atomic-ok fixture: pre-publication initialization, no concurrent reader exists yet
+	return s
+}

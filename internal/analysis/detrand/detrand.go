@@ -31,6 +31,10 @@ var criticalPkgs = map[string]bool{
 	"schemble/internal/cluster":     true,
 	"schemble/internal/filling":     true,
 	"schemble/internal/serve":       true,
+	"schemble/internal/core":        true,
+	"schemble/internal/qos":         true,
+	"schemble/internal/rcache":      true,
+	"schemble/internal/trace":       true,
 }
 
 // Analyzer is the detrand analyzer.

@@ -1,0 +1,16 @@
+package enginepure_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/enginepure"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestEnginePureListedPackage(t *testing.T) {
+	testkit.Run(t, enginepure.Analyzer, "schemble/internal/qos")
+}
+
+func TestEnginePureOutOfScopePackage(t *testing.T) {
+	testkit.Run(t, enginepure.Analyzer, "example.com/engine")
+}

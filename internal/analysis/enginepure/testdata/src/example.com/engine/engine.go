@@ -1,0 +1,22 @@
+// Package engine is off the declared list: engines legitimately own
+// goroutines, channels, wall time and package state, so nothing here
+// may trip enginepure.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+var bootTime = time.Now()
+
+func Spawn(n int) chan time.Duration {
+	ch := make(chan time.Duration, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			time.Sleep(time.Duration(rand.Int63n(int64(time.Millisecond))))
+			ch <- time.Since(bootTime)
+		}()
+	}
+	return ch
+}

@@ -1,0 +1,79 @@
+// Package qos is a fixture standing in for the real overload
+// controller: it sits on the engine-agnostic declared list, so every
+// engine-owned construct below must trip enginepure.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand" // want "import of math/rand in engine-agnostic package"
+	"sync"
+	"time"
+)
+
+// ErrSaturated is the tolerated package-level idiom: a write-once error
+// sentinel carries no replayable state.
+var ErrSaturated = errors.New("qos: saturated")
+
+// ErrDrained exercises the fmt.Errorf sentinel form.
+var ErrDrained = fmt.Errorf("qos: drained")
+
+// lastLoad is exactly the contraband the contract forbids: package
+// state shared by every engine in the process.
+var lastLoad float64 // want "package-level mutable state \\(var lastLoad\\)"
+
+// seeded is the audited exception: the annotation on the line above
+// waives it.
+//
+//schemble:enginepure-ok fixture: write-once feature table built by init, read-only afterwards
+var seeded bool
+
+// Controller is fine: mutexes serialize, they do not decide.
+type Controller struct {
+	mu   sync.Mutex
+	load float64
+}
+
+// Observe is clean — virtual time comes in as an argument.
+func (c *Controller) Observe(now time.Duration, load float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.load = load
+}
+
+// WallObserve reads the wall clock instead of taking the caller's.
+func (c *Controller) WallObserve(load float64) {
+	_ = time.Now() // want "wall-clock/timer call \\(time.Now\\) in engine-agnostic package"
+	c.load = load + rand.Float64()
+}
+
+// Refill arms a runtime timer.
+func (c *Controller) Refill() {
+	time.Sleep(time.Millisecond) // want "wall-clock/timer call \\(time.Sleep\\) in engine-agnostic package"
+}
+
+// Fanout owns concurrency that belongs to the engines.
+func (c *Controller) Fanout(loads []float64) {
+	ch := make(chan float64, len(loads)) // want "channel creation in engine-agnostic package"
+	for _, l := range loads {
+		go func(l float64) { // want "goroutine launch in engine-agnostic package"
+			ch <- l // want "channel send in engine-agnostic package"
+		}(l)
+	}
+	for range loads {
+		c.load += <-ch // want "channel receive in engine-agnostic package"
+	}
+	close(ch) // want "channel close in engine-agnostic package"
+}
+
+// Drain exercises select and range-over-channel.
+func (c *Controller) Drain(ch chan float64) {
+	select { // want "select statement in engine-agnostic package"
+	case l := <-ch: // want "channel receive in engine-agnostic package"
+		c.load = l
+	default:
+	}
+	for l := range ch { // want "range over a channel in engine-agnostic package"
+		c.load = l
+	}
+}

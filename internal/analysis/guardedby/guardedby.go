@@ -1,0 +1,241 @@
+// Package guardedby mechanizes the "guarded by mu" comments scattered
+// through the runtime's struct definitions. A field annotated
+//
+//	//schemble:guardedby mu   <optional rationale>
+//
+// declares that every access to it must happen while the named sibling
+// mutex is held. The check is intraprocedural and deliberately simple:
+// an access is legal when the innermost enclosing function (a) calls
+// Lock or RLock on that mutex itself, (b) is named with the *Locked
+// suffix — the repo's convention for helpers whose callers hold the
+// lock, (c) touches a value it just constructed and has not published
+// yet, or (d) initializes the field in a composite literal. Everything
+// else is a finding, waivable with //schemble:guardedby-ok and a
+// written justification. The analyzer cannot prove the *right* instance
+// was locked — like every annotation-driven lock checker it trades that
+// precision for zero runtime cost and no false negatives on forgotten
+// locks.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"schemble/internal/analysis"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "check that fields annotated //schemble:guardedby <mu> are only accessed " +
+		"by functions that lock the named mutex (or are *Locked helpers)",
+	Directives: []string{"guardedby", "guardedby-ok"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo()
+
+	// Phase 1: collect the declarations. guarded maps each annotated
+	// field to its declared mutex field (both as type-checker objects, so
+	// matching is name-resolution-exact, not textual).
+	guarded := make(map[*types.Var]*types.Var)
+	for _, f := range pass.Unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					continue // embedded fields cannot carry the annotation
+				}
+				arg, ok := pass.Annotation(field.Pos(), "guardedby")
+				if !ok {
+					continue
+				}
+				muName, _, _ := strings.Cut(arg, " ")
+				mu := findField(st, muName)
+				if mu == nil {
+					pass.Report(field.Pos(), "",
+						"//schemble:guardedby names %q, which is not a field of this struct", muName)
+					continue
+				}
+				muVar, _ := info.Defs[mu].(*types.Var)
+				if muVar == nil || !isMutex(muVar.Type()) {
+					pass.Report(field.Pos(), "",
+						"//schemble:guardedby names %q, which is not a sync.Mutex or sync.RWMutex field", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, _ := info.Defs[name].(*types.Var); fv != nil {
+						guarded[fv] = muVar
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Phase 2: judge every access, one function scope at a time.
+	for _, f := range pass.Unit.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, info, guarded, fd.Name.Name, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkScope validates one function body, recursing into nested
+// function literals as their own scopes (a lock held where a closure is
+// *defined* says nothing about where it *runs*).
+func checkScope(pass *analysis.Pass, info *types.Info, guarded map[*types.Var]*types.Var, name string, body *ast.BlockStmt) {
+	var (
+		locked   = make(map[*types.Var]bool) // mutex fields this scope locks
+		fresh    = make(map[types.Object]bool)
+		accesses []*ast.SelectorExpr
+		nested   []*ast.FuncLit
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			nested = append(nested, n)
+			return false // its own scope
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					if mv := selectedField(info, sel.X); mv != nil {
+						locked[mv] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isFreshStruct(info, n.Rhs[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if fv := fieldOf(info, n); fv != nil {
+				if _, isGuarded := guarded[fv]; isGuarded {
+					accesses = append(accesses, n)
+				}
+			}
+		}
+		return true
+	})
+
+	lockedName := strings.HasSuffix(name, "Locked")
+	for _, sel := range accesses {
+		fv := fieldOf(info, sel)
+		mu := guarded[fv]
+		if lockedName || locked[mu] {
+			continue
+		}
+		if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && fresh[info.Uses[base]] {
+			continue // value constructed in this scope, not yet published
+		}
+		pass.Report(sel.Sel.Pos(), "guardedby-ok",
+			"access to %s (guarded by %s) in a function that does not lock it: lock %s here, give the function a *Locked suffix if its callers hold the lock, or waive with a justification",
+			fv.Name(), mu.Name(), mu.Name())
+	}
+
+	for _, lit := range nested {
+		checkScope(pass, info, guarded, "", lit.Body)
+	}
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified selectors and composite-literal keys resolve
+	// through Uses instead.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// selectedField resolves the base of a Lock/RLock call (c.mu in
+// c.mu.Lock()) to the mutex field object, or nil for locks on
+// non-field mutexes.
+func selectedField(info *types.Info, x ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOf(info, sel)
+}
+
+// isMutex reports whether t (or what it points to) is sync.Mutex or
+// sync.RWMutex.
+func isMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isFreshStruct reports whether the expression constructs a new struct
+// value: a composite literal, its address, or new(T).
+func isFreshStruct(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// findField returns the named field's identifier within the struct, or
+// nil.
+func findField(st *ast.StructType, name string) *ast.Ident {
+	if name == "" {
+		return nil
+	}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return n
+			}
+		}
+	}
+	return nil
+}

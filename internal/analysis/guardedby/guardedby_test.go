@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/guardedby"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestGuardedBy(t *testing.T) {
+	testkit.Run(t, guardedby.Analyzer, "example.com/ledger")
+}

@@ -1,0 +1,81 @@
+// Package ledger exercises guardedby: every legal access shape (locked,
+// RLocked, *Locked helper, fresh construction, composite literal,
+// waiver) stays silent, and every unprotected touch or malformed
+// declaration is a finding.
+package ledger
+
+import "sync"
+
+// Book is the annotated struct under test.
+type Book struct {
+	mu sync.RWMutex
+	//schemble:guardedby mu protects the running balance
+	balance int
+	//schemble:guardedby mu protects the entry log alongside balance
+	entries []string
+
+	plain int // unannotated, never checked
+}
+
+// Bad carries the two malformed declarations.
+type Bad struct {
+	gate  int
+	ok    sync.Mutex
+	count int //schemble:guardedby missing names a field that does not exist // want `names "missing", which is not a field of this struct`
+	total int //schemble:guardedby gate names a non-mutex sibling // want `names "gate", which is not a sync.Mutex or sync.RWMutex field`
+}
+
+// Deposit locks the declared mutex: clean.
+func (b *Book) Deposit(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balance += n
+	b.entries = append(b.entries, "deposit")
+}
+
+// Balance read-locks: RLock counts.
+func (b *Book) Balance() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.balance
+}
+
+// resetLocked relies on the naming convention: callers hold b.mu.
+func (b *Book) resetLocked() {
+	b.balance = 0
+	b.entries = nil
+}
+
+// Peek races every locked writer.
+func (b *Book) Peek() int {
+	return b.balance // want "access to balance .guarded by mu. in a function that does not lock it"
+}
+
+// Drain races and mutates, and the closure gets its own scope: a lock
+// in the enclosing function would not excuse it either.
+func (b *Book) Drain() []string {
+	out := b.entries // want "access to entries .guarded by mu."
+	f := func() {
+		b.entries = nil // want "access to entries .guarded by mu."
+	}
+	f()
+	return out
+}
+
+// New constructs fresh values: composite-literal keys and writes through
+// a not-yet-published local are pre-publication and exempt.
+func New() *Book {
+	b := &Book{balance: 1, entries: []string{"open"}}
+	b.balance = 2
+	other := new(Book)
+	other.balance = 3
+	return b
+}
+
+// Audit demonstrates the waiver.
+func Audit(b *Book) int {
+	return b.balance //schemble:guardedby-ok fixture: single-threaded audit path, no concurrent writer by construction
+}
+
+// Touch only uses the unannotated field: never checked.
+func (b *Book) Touch() int { return b.plain }

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 
 	"schemble/internal/analysis"
 )
@@ -112,12 +113,130 @@ func NewInfo() *types.Info {
 	}
 }
 
+// future is the once-computed type-check result for one package. Every
+// listed module package gets one up front; forcing a future that is
+// already being computed by another goroutine blocks until it is done,
+// so each package is parsed and checked exactly once no matter how many
+// importers race to it.
+type future struct {
+	once sync.Once
+	u    *analysis.Unit
+	err  error
+}
+
+// checker type-checks the listed packages concurrently. The FileSet is
+// internally synchronized, parser.ParseFile against it is
+// goroutine-safe, and completed *types.Package values are immutable, so
+// the only state needing a lock is the gc export-data importer's
+// package cache.
+type checker struct {
+	fset    *token.FileSet
+	byPath  map[string]*Package
+	futures map[string]*future
+	gcMu    sync.Mutex
+	gcimp   types.Importer
+}
+
+// gcImport reads a dependency's export data under the importer lock
+// (importer.ForCompiler memoizes into an unsynchronized map).
+func (ck *checker) gcImport(path string) (*types.Package, error) {
+	ck.gcMu.Lock()
+	defer ck.gcMu.Unlock()
+	return ck.gcimp.Import(path)
+}
+
+// get forces the future for path. stack carries this goroutine's
+// in-progress recursion for cycle detection — go list never emits a
+// cyclic import graph, but a corrupted listing must fail loudly rather
+// than deadlock a re-entrant sync.Once.
+func (ck *checker) get(path string, stack []string) (*analysis.Unit, error) {
+	f := ck.futures[path]
+	if f == nil {
+		return nil, fmt.Errorf("package %q not in go list output", path)
+	}
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	f.once.Do(func() { f.u, f.err = ck.check(path, append(stack, path)) })
+	return f.u, f.err
+}
+
+// check parses and type-checks one package, forcing its in-module
+// dependencies first (inline, on this goroutine — concurrency comes
+// from the top-level fan-out in Load).
+func (ck *checker) check(path string, stack []string) (*analysis.Unit, error) {
+	p := ck.byPath[path]
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		af, err := parser.ParseFile(ck.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == "unsafe" {
+				return types.Unsafe, nil
+			}
+			// go list resolves an import to its test-augmented
+			// variant when this package participates in the same
+			// test binary; mirror that resolution.
+			resolved := imp
+			for _, im := range p.Imports {
+				if im == imp || strings.HasPrefix(im, imp+" [") {
+					resolved = im
+					break
+				}
+			}
+			dep := ck.byPath[resolved]
+			if dep != nil && !dep.Standard {
+				u, err := ck.get(resolved, stack)
+				if err != nil {
+					return nil, err
+				}
+				return u.Pkg, nil
+			}
+			return ck.gcImport(imp)
+		}),
+	}
+	if p.Module != nil && p.Module.GoVersion != "" {
+		conf.GoVersion = "go" + p.Module.GoVersion
+	}
+	info := NewInfo()
+	tpkg, err := conf.Check(analysis.BasePath(path), ck.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &analysis.Unit{
+		Path:  path,
+		Base:  analysis.BasePath(path),
+		Fset:  ck.fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}
+
 // Load lists the packages matched by patterns in the module rooted near
 // dir and returns one type-checked Unit per matched package. Packages
 // with internal tests are returned as their test-augmented variant only
 // (library + _test.go files, exactly what the test binary compiles), so
 // each source file is analyzed once. Synthesized test-main packages are
 // skipped.
+//
+// One `go list` pass supplies the whole build graph; parsing and
+// type-checking then fan out across GOMAXPROCS workers, each forcing
+// its dependencies' futures inline (a worker never waits on the
+// semaphore while holding a slot, so the bound cannot deadlock).
 func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 	args := append([]string{"-deps", "-test", "-export", "-json"}, patterns...)
 	pkgs, err := List(dir, args...)
@@ -134,84 +253,19 @@ func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 	}
 
 	fset := token.NewFileSet()
-	exports := Exports(pkgs)
-	gcimp := GCImporter(fset, exports)
-
-	checked := make(map[string]*analysis.Unit)
-	var check func(path string) (*analysis.Unit, error)
-	check = func(path string) (*analysis.Unit, error) {
-		if u, ok := checked[path]; ok {
-			if u == nil {
-				return nil, fmt.Errorf("import cycle through %q", path)
-			}
-			return u, nil
+	ck := &checker{
+		fset:    fset,
+		byPath:  byPath,
+		futures: make(map[string]*future, len(pkgs)),
+		gcimp:   GCImporter(fset, Exports(pkgs)),
+	}
+	for _, p := range pkgs {
+		if !p.Standard {
+			ck.futures[p.ImportPath] = &future{}
 		}
-		checked[path] = nil // cycle guard
-		p := byPath[path]
-		if p == nil {
-			return nil, fmt.Errorf("package %q not in go list output", path)
-		}
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, err
-			}
-			files = append(files, af)
-		}
-		var typeErrs []error
-		conf := types.Config{
-			Sizes: types.SizesFor("gc", runtime.GOARCH),
-			Error: func(err error) { typeErrs = append(typeErrs, err) },
-			Importer: importerFunc(func(imp string) (*types.Package, error) {
-				if imp == "unsafe" {
-					return types.Unsafe, nil
-				}
-				// go list resolves an import to its test-augmented
-				// variant when this package participates in the same
-				// test binary; mirror that resolution.
-				resolved := imp
-				for _, im := range p.Imports {
-					if im == imp || strings.HasPrefix(im, imp+" [") {
-						resolved = im
-						break
-					}
-				}
-				dep := byPath[resolved]
-				if dep != nil && !dep.Standard {
-					u, err := check(resolved)
-					if err != nil {
-						return nil, err
-					}
-					return u.Pkg, nil
-				}
-				return gcimp.Import(imp)
-			}),
-		}
-		if p.Module != nil && p.Module.GoVersion != "" {
-			conf.GoVersion = "go" + p.Module.GoVersion
-		}
-		info := NewInfo()
-		tpkg, err := conf.Check(analysis.BasePath(path), fset, files, info)
-		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
-		}
-		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", path, err)
-		}
-		u := &analysis.Unit{
-			Path:  path,
-			Base:  analysis.BasePath(path),
-			Fset:  fset,
-			Files: files,
-			Pkg:   tpkg,
-			Info:  info,
-		}
-		checked[path] = u
-		return u, nil
 	}
 
-	var units []*analysis.Unit
+	var targets []*Package
 	for _, p := range pkgs {
 		if p.Standard || p.DepOnly || p.Module == nil {
 			continue
@@ -224,11 +278,27 @@ func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 		if p.ForTest == "" && augmented[p.ImportPath] {
 			continue
 		}
-		u, err := check(p.ImportPath)
+		targets = append(targets, p)
+	}
+
+	units := make([]*analysis.Unit, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range targets {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			units[i], errs[i] = ck.get(path, nil)
+		}(i, p.ImportPath)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, u)
 	}
 	return units, nil
 }

@@ -1,0 +1,128 @@
+package load_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"schemble/internal/analysis"
+	"schemble/internal/analysis/load"
+)
+
+// repoRoot is where go list runs; the loader resolves the module from
+// there. Tests execute with the package directory as cwd, two levels
+// below internal/.
+const repoRoot = "../../.."
+
+// TestLoadTypedUnits loads a slice of the real module and checks the
+// invariants every analyzer leans on: parsed files, a complete types.Info,
+// and a type-checked *types.Package per unit.
+func TestLoadTypedUnits(t *testing.T) {
+	units, err := load.Load(repoRoot, "./internal/core", "./internal/qos")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byBase := make(map[string]*analysis.Unit)
+	for _, u := range units {
+		if len(u.Files) == 0 {
+			t.Errorf("unit %s has no parsed files", u.Path)
+		}
+		if u.Pkg == nil || !u.Pkg.Complete() {
+			t.Errorf("unit %s: package not fully type-checked", u.Path)
+		}
+		if u.Info == nil || u.Info.Uses == nil || u.Info.Defs == nil || u.Info.Selections == nil {
+			t.Errorf("unit %s: types.Info missing maps", u.Path)
+		}
+		if u.Fset == nil {
+			t.Fatalf("unit %s: nil FileSet", u.Path)
+		}
+		byBase[u.Base] = u
+	}
+	for _, base := range []string{"schemble/internal/core", "schemble/internal/qos"} {
+		if byBase[base] == nil {
+			t.Errorf("no unit loaded for %s", base)
+		}
+	}
+}
+
+// TestLoadPrefersAugmentedVariant: a package with internal tests must be
+// loaded exactly once, as the test-augmented variant (the union of
+// library and _test.go files), never additionally as the bare library.
+func TestLoadPrefersAugmentedVariant(t *testing.T) {
+	units, err := load.Load(repoRoot, "./internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var core []*analysis.Unit
+	for _, u := range units {
+		if u.Base == "schemble/internal/core" {
+			core = append(core, u)
+		}
+	}
+	if len(core) != 1 {
+		t.Fatalf("want exactly one unit for schemble/internal/core, got %d", len(core))
+	}
+	u := core[0]
+	if !strings.Contains(u.Path, "[") {
+		t.Errorf("unit path %q is not the test-augmented variant", u.Path)
+	}
+	var lib, test bool
+	for _, f := range u.Files {
+		name := u.Fset.Position(f.Pos()).Filename
+		switch {
+		case strings.HasSuffix(name, "_test.go"):
+			test = true
+		default:
+			lib = true
+		}
+	}
+	if !lib || !test {
+		t.Errorf("augmented unit should mix library and _test.go files (lib=%v test=%v)", lib, test)
+	}
+}
+
+// TestLoadSkipsSynthesizedTestMain: go list -test emits a synthesized
+// <pkg>.test main package; it must never become an analysis unit.
+func TestLoadSkipsSynthesizedTestMain(t *testing.T) {
+	units, err := load.Load(repoRoot, "./internal/qos")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, u := range units {
+		if strings.HasSuffix(u.Path, ".test") {
+			t.Errorf("synthesized test main %s leaked into the unit list", u.Path)
+		}
+	}
+}
+
+// TestLoadBadPattern: an unknown pattern must surface go list's error,
+// not a silent empty result.
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := load.Load(repoRoot, "./internal/does-not-exist"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}
+
+// TestListExports: the raw list layer reports export data for compiled
+// dependencies, which the gc importer resolves types through.
+func TestListExports(t *testing.T) {
+	pkgs, err := load.List(repoRoot, "-deps", "-test", "-export", "-json", "./internal/rcache")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	exports := load.Exports(pkgs)
+	for _, dep := range []string{"sync", "schemble/internal/cluster"} {
+		if exports[dep] == "" {
+			t.Errorf("no export data recorded for dependency %q", dep)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := load.GCImporter(fset, exports)
+	pkg, err := imp.Import("schemble/internal/cluster")
+	if err != nil {
+		t.Fatalf("importing cluster from export data: %v", err)
+	}
+	if pkg.Scope().Lookup("KMeans") == nil {
+		t.Error("export data for cluster lacks KMeans")
+	}
+}

@@ -1,0 +1,365 @@
+// Package planown mechanizes the Plan ownership audit from the arena
+// work: a core.Plan returned by a Scheduler's Schedule method shares its
+// Assignments map with the scheduler's internal arena, so the plan is
+// valid only until the next Schedule call on the same scheduler and must
+// never outlive the caller's frame. The analyzer taints every local
+// bound to a Schedule result (and its aliases, including the raw
+// .Assignments map) and reports when a tainted value
+//
+//   - is stored in a struct field, map, or other non-local location,
+//   - is retained by a composite literal,
+//   - is sent on a channel,
+//   - is captured by a go statement, or
+//   - is used after a subsequent Schedule call on the same scheduler
+//     expression re-used the arena.
+//
+// core.Plan.Clone() launders ownership: a cloned plan is the caller's to
+// keep, so Clone results are never tainted and re-assigning a tainted
+// variable from Clone clears its taint. The check is intraprocedural
+// and receiver identity is syntactic (the selector chain of the
+// receiver expression), so two Schedule calls invalidate each other only
+// when they are spelled on the same variable chain; calls through
+// unknown receivers (function results, fresh literals) never invalidate
+// anything. Waive with //schemble:planown-ok and a justification.
+package planown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"schemble/internal/analysis"
+)
+
+// Analyzer is the planown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "planown",
+	Doc: "check that scheduler-owned core.Plan values (arena-backed Assignments maps) " +
+		"do not escape the caller's frame or outlive the next Schedule call",
+	Directives: []string{"planown-ok"},
+	Run:        run,
+}
+
+const corePath = "schemble/internal/core"
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Unit.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, info, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// An event is one ownership-relevant occurrence in a function body.
+// Events are replayed in source order, which for a single body matches
+// position order.
+type event struct {
+	pos  token.Pos
+	seq  int // collection order, tiebreak for same-pos events
+	kind int
+	obj  *types.Var // evOwn/evAlias dst, evClear, evUse
+	src  *types.Var // evAlias source
+	key  string     // evSchedule / evOwn receiver identity
+	expr ast.Expr   // evEscape: the escaping expression
+	how  string     // evEscape: what happened to it
+}
+
+const (
+	evSchedule = iota // a Schedule call on receiver key
+	evOwn             // obj bound directly to a Schedule result
+	evAlias           // obj bound to another (possibly owned) local
+	evClear           // obj re-bound to a non-owning value (e.g. Clone)
+	evUse             // plain use of a candidate local
+	evEscape          // an expression leaves the frame
+)
+
+func checkFunc(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	var events []*event
+	add := func(pos token.Pos, e event) {
+		e.pos, e.seq = pos, len(events)
+		events = append(events, &e)
+	}
+	skipUse := make(map[*ast.Ident]bool) // lhs idents: binding, not use
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if key, ok := scheduleCall(info, n); ok {
+				add(n.Pos(), event{kind: evSchedule, key: key})
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					collectBinding(info, n.Lhs[i], n.Rhs[i], add, skipUse)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					collectBinding(info, n.Names[i], n.Values[i], add, skipUse)
+				}
+			}
+		case *ast.SendStmt:
+			collectEscape(info, n.Value, "sent on a channel", add)
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				collectEscape(info, v, "retained in a composite literal", add)
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				collectEscape(info, arg, "captured by a go statement", add)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if v := candidateUse(info, id); v != nil {
+							add(id.Pos(), event{kind: evEscape, expr: id, how: "captured by a goroutine closure"})
+						}
+					}
+					return true
+				})
+			}
+		case *ast.Ident:
+			if skipUse[n] {
+				return true
+			}
+			if v := candidateUse(info, n); v != nil {
+				add(n.Pos(), event{kind: evUse, obj: v})
+			}
+		}
+		return true
+	})
+
+	// Replay. cur tracks the live ownership of each local; lastSched the
+	// most recent Schedule position per receiver identity.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		return events[i].seq < events[j].seq
+	})
+	type owned struct {
+		key  string
+		born token.Pos
+	}
+	cur := make(map[*types.Var]owned)
+	lastSched := make(map[string]token.Pos)
+	reported := make(map[token.Pos]bool) // one finding per position
+
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Report(pos, "planown-ok", format, args...)
+	}
+	stale := func(o owned) bool {
+		return o.key != "" && lastSched[o.key] > o.born
+	}
+	// ownedExpr resolves an expression's ownership at replay time.
+	ownedExpr := func(e ast.Expr) (owned, bool) {
+		e = ast.Unparen(e)
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Assignments" {
+			e = ast.Unparen(sel.X) // p.Assignments shares p's arena map
+		}
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			if key, ok := scheduleCall(info, e); ok {
+				return owned{key: key, born: e.Pos()}, true
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				if o, ok := cur[v]; ok {
+					return o, true
+				}
+			}
+		}
+		return owned{}, false
+	}
+
+	for _, e := range events {
+		switch e.kind {
+		case evSchedule:
+			if e.key != "" {
+				lastSched[e.key] = e.pos
+			}
+		case evOwn:
+			cur[e.obj] = owned{key: e.key, born: e.pos}
+		case evAlias:
+			if o, ok := cur[e.src]; ok {
+				cur[e.obj] = owned{key: o.key, born: o.born}
+			} else {
+				delete(cur, e.obj)
+			}
+		case evClear:
+			delete(cur, e.obj)
+		case evUse:
+			if o, ok := cur[e.obj]; ok && stale(o) {
+				report(e.pos, "use of %s after a subsequent Schedule call on the same scheduler: its Assignments map has been reused — Clone() the plan before re-scheduling, or waive with a justification", e.obj.Name())
+			}
+		case evEscape:
+			if _, ok := ownedExpr(e.expr); ok {
+				report(e.pos, "scheduler-owned Plan %s: the Assignments map belongs to the scheduler's arena and is reused by the next Schedule call — pass it through Plan.Clone(), or waive with a justification", e.how)
+			}
+		}
+	}
+}
+
+// collectBinding classifies one lhs = rhs pair. Ident lhs produce
+// ownership-transfer events; any other lhs (field, index, deref) is a
+// store outside the local frame and produces an escape check on the rhs.
+func collectBinding(info *types.Info, lhs, rhs ast.Expr, add func(token.Pos, event), skipUse map[*ast.Ident]bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		collectEscape(info, rhs, "stored outside the local frame", add)
+		return
+	}
+	skipUse[id] = true
+	v := defOrUse(info, id)
+	if v == nil || !planLike(v.Type()) {
+		return
+	}
+	switch r := ast.Unparen(stripAssignments(rhs)).(type) {
+	case *ast.CallExpr:
+		if key, ok := scheduleCall(info, r); ok {
+			add(r.Pos(), event{kind: evOwn, obj: v, key: key})
+			return
+		}
+		add(lhs.Pos(), event{kind: evClear, obj: v}) // Clone() and every other call result
+	case *ast.Ident:
+		if src, ok := info.Uses[r].(*types.Var); ok && planLike(src.Type()) {
+			add(lhs.Pos(), event{kind: evAlias, obj: v, src: src})
+			return
+		}
+		add(lhs.Pos(), event{kind: evClear, obj: v})
+	default:
+		add(lhs.Pos(), event{kind: evClear, obj: v})
+	}
+}
+
+// collectEscape records an escape check for expr if it could possibly
+// be plan-like; ownership is decided at replay time.
+func collectEscape(info *types.Info, expr ast.Expr, how string, add func(token.Pos, event)) {
+	e := ast.Unparen(stripAssignments(expr))
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if _, ok := scheduleCall(info, e); !ok {
+			return
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); !ok || !planLike(v.Type()) {
+			return
+		}
+	default:
+		return
+	}
+	add(expr.Pos(), event{kind: evEscape, expr: expr, how: how})
+}
+
+// stripAssignments unwraps a trailing .Assignments selection: the map
+// shares ownership with its plan.
+func stripAssignments(e ast.Expr) ast.Expr {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && sel.Sel.Name == "Assignments" {
+		return sel.X
+	}
+	return e
+}
+
+// defOrUse resolves an identifier to the variable it defines or uses.
+func defOrUse(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// candidateUse reports whether id is a use of a local whose type could
+// carry plan ownership (core.Plan or its Assignments map type).
+func candidateUse(info *types.Info, id *ast.Ident) *types.Var {
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || !planLike(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// planLike reports whether t is core.Plan, *core.Plan, or a map type
+// matching Plan.Assignments.
+func planLike(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if isCorePlan(t) {
+		return true
+	}
+	if m, ok := t.Underlying().(*types.Map); ok {
+		b, ok := m.Key().(*types.Basic)
+		if !ok || b.Kind() != types.Int {
+			return false
+		}
+		if n, ok := m.Elem().(*types.Named); ok {
+			return n.Obj().Name() == "Subset" && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == "schemble/internal/ensemble"
+		}
+	}
+	return false
+}
+
+func isCorePlan(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Plan" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == corePath
+}
+
+// scheduleCall reports whether call invokes a method named Schedule
+// returning exactly one core.Plan, and returns the receiver identity
+// key: the selector chain of the receiver expression rooted at a named
+// object ("" when the root is not a plain identifier — such calls never
+// invalidate other plans).
+func scheduleCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false // method values bound to plain identifiers are not tracked
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Schedule" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 || !isCorePlan(sig.Results().At(0).Type()) {
+		return "", false
+	}
+	return chainKey(info, sel.X), true
+}
+
+// chainKey renders a receiver expression as an identity string:
+// "obj<pointer>" for identifiers, extended with ".field" per selection.
+// Unknown shapes yield "" (no identity).
+func chainKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return fmt.Sprintf("obj%p", obj)
+		}
+	case *ast.SelectorExpr:
+		if base := chainKey(info, e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.StarExpr:
+		return chainKey(info, e.X)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package planown_test
+
+import (
+	"testing"
+
+	"schemble/internal/analysis/planown"
+	"schemble/internal/analysis/testkit"
+)
+
+func TestPlanOwn(t *testing.T) {
+	testkit.Run(t, planown.Analyzer, "example.com/planuser")
+}

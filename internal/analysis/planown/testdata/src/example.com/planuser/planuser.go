@@ -1,0 +1,87 @@
+// Package planuser exercises planown against the real core package:
+// every escape shape (field store, channel send, composite literal,
+// goroutine capture), use-after-re-Schedule staleness, Clone laundering,
+// receiver-identity separation, and the waiver.
+package planuser
+
+import (
+	"time"
+
+	"schemble/internal/core"
+	"schemble/internal/ensemble"
+)
+
+// keeper is a struct a plan could wrongly escape into.
+type keeper struct {
+	last core.Plan
+	m    map[int]ensemble.Subset
+}
+
+var planCh = make(chan core.Plan, 1)
+
+func consume(core.Plan) {}
+
+// fieldStore covers stores outside the local frame, direct and aliased.
+func fieldStore(k *keeper, d *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) {
+	p := d.Schedule(0, qs, avail, exec, r)
+	k.last = p // want "scheduler-owned Plan stored outside the local frame"
+	k.last = p.Clone()
+	k.m = p.Assignments                        // want "stored outside the local frame"
+	k.last = d.Schedule(0, qs, avail, exec, r) // want "stored outside the local frame"
+}
+
+// aliasStore taints through an alias chain ending at the raw map.
+func aliasStore(k *keeper, d *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) {
+	p := d.Schedule(0, qs, avail, exec, r)
+	q := p
+	a := q.Assignments
+	k.m = a // want "stored outside the local frame"
+}
+
+// send covers channel sends.
+func send(d *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) {
+	p := d.Schedule(0, qs, avail, exec, r)
+	planCh <- p // want "sent on a channel"
+	planCh <- p.Clone()
+}
+
+// spawn covers both goroutine shapes.
+func spawn(d *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) {
+	p := d.Schedule(0, qs, avail, exec, r)
+	go consume(p) // want "captured by a go statement"
+	go func() {
+		_ = p.Subset(0) // want "captured by a goroutine closure"
+	}()
+	go consume(p.Clone())
+}
+
+// retain covers composite-literal retention.
+func retain(d *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) []keeper {
+	p := d.Schedule(0, qs, avail, exec, r)
+	return []keeper{{last: p}} // want "retained in a composite literal"
+}
+
+// reuse covers staleness: a second Schedule on the SAME receiver
+// invalidates p1, while a different scheduler or a Clone does not.
+func reuse(d1, d2 *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) int {
+	p1 := d1.Schedule(0, qs, avail, exec, r)
+	saved := p1.Clone()
+	p2 := d1.Schedule(0, qs, avail, exec, r)
+	n := len(p1.Assignments) // want "use of p1 after a subsequent Schedule call on the same scheduler"
+	other := d2.Schedule(0, qs, avail, exec, r)
+	return n + len(p2.Assignments) + len(saved.Assignments) + len(other.Assignments)
+}
+
+// viaInterface checks that interface-typed receivers are tracked too.
+func viaInterface(k *keeper, s core.Scheduler, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) {
+	p := s.Schedule(0, qs, avail, exec, r)
+	p2 := s.Schedule(0, qs, avail, exec, r)
+	k.last = p2.Clone()
+	_ = p.Subset(1) // want "use of p after a subsequent Schedule call"
+}
+
+// waived demonstrates the escape hatch.
+func waived(k *keeper, d *core.DP, qs []core.QueryInfo, avail core.Capacity, exec []time.Duration, r core.Rewarder) {
+	p := d.Schedule(0, qs, avail, exec, r)
+	k.last = p //schemble:planown-ok fixture: keeper is discarded before any further Schedule call
+}

@@ -5,20 +5,28 @@ package suite
 
 import (
 	"schemble/internal/analysis"
+	"schemble/internal/analysis/atomicmix"
 	"schemble/internal/analysis/ctxhttp"
 	"schemble/internal/analysis/detrand"
+	"schemble/internal/analysis/enginepure"
 	"schemble/internal/analysis/exhaustiveoutcome"
 	"schemble/internal/analysis/floateq"
+	"schemble/internal/analysis/guardedby"
+	"schemble/internal/analysis/planown"
 	"schemble/internal/analysis/sleeptest"
 )
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		ctxhttp.Analyzer,
 		detrand.Analyzer,
+		enginepure.Analyzer,
 		exhaustiveoutcome.Analyzer,
 		floateq.Analyzer,
+		guardedby.Analyzer,
+		planown.Analyzer,
 		sleeptest.Analyzer,
 	}
 }

@@ -51,6 +51,23 @@ type Plan struct {
 // Subset returns the plan's assignment for query id (Empty when skipped).
 func (p Plan) Subset(id int) ensemble.Subset { return p.Assignments[id] }
 
+// Clone returns a copy of the plan whose Assignments map is owned by the
+// caller. Plans returned by Schedule share their Assignments map with the
+// scheduler's arena and are valid only until the next Schedule call on
+// the same scheduler; Clone is the one sanctioned way to retain a plan
+// past that point (the planown analyzer enforces this).
+func (p Plan) Clone() Plan {
+	out := Plan{TotalReward: p.TotalReward}
+	if p.Assignments != nil {
+		out.Assignments = make(map[int]ensemble.Subset, len(p.Assignments))
+		//schemble:maporder-ok map-to-map copy: the result is independent of iteration order
+		for id, s := range p.Assignments {
+			out.Assignments[id] = s
+		}
+	}
+	return out
+}
+
 // Scheduler solves the local scheduling subproblem at one instant.
 type Scheduler interface {
 	Name() string

@@ -14,17 +14,6 @@ import (
 // frontier prefix reuse, entry recycling, the Pareto short-circuit, the
 // closure-free sorts — must leave the produced plans bit-identical.
 
-// clonePlan deep-copies a plan. DP and Greedy reuse their Assignments
-// map across calls, so any plan held past the next Schedule call on the
-// same instance must be cloned first.
-func clonePlan(p Plan) Plan {
-	m := make(map[int]ensemble.Subset, len(p.Assignments))
-	for k, v := range p.Assignments {
-		m[k] = v
-	}
-	return Plan{Assignments: m, TotalReward: p.TotalReward}
-}
-
 // samePlan requires exact equality: bitwise TotalReward and identical
 // Assignments maps (including explicit Empty entries).
 func samePlan(t *testing.T, tag string, got, want Plan) {
@@ -103,7 +92,7 @@ func TestDPIncrementalReuseIdentity(t *testing.T) {
 		r := rootRewarder{m: inst.m}
 		nextID := 1000
 		for step := 0; step < 12; step++ {
-			got := clonePlan(d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r))
+			got := d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r).Clone()
 			want := ref.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
 			samePlan(t, "incremental", got, want)
 			switch src.Intn(5) {
@@ -337,7 +326,7 @@ func TestZeroReplicaConvention(t *testing.T) {
 	exec := []time.Duration{20 * ms, 30 * ms}
 	r := rootRewarder{m: 2}
 	for _, s := range []Scheduler{&DP{Delta: 0.01}, &Greedy{Order: EDF}} {
-		got := clonePlan(s.Schedule(now, queries, zero, exec, r))
+		got := s.Schedule(now, queries, zero, exec, r).Clone()
 		want := s.Schedule(now, queries, one, exec, r)
 		samePlan(t, s.Name()+"/zero-replica", got, want)
 	}

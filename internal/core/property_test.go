@@ -200,19 +200,19 @@ func TestPropertyReplicaMonotonicity(t *testing.T) {
 		k := int(seed) % inst.m
 		grown := addReplica(inst.cap, k, inst.now)
 
-		base := exh.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+		baseReward := exh.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r).TotalReward
 		more := exh.Schedule(inst.now, inst.queries, grown, inst.exec, r)
-		if more.TotalReward < base.TotalReward-1e-9 {
+		if more.TotalReward < baseReward-1e-9 {
 			t.Fatalf("seed %d: exhaustive reward dropped %v -> %v after adding a replica to model %d",
-				seed, base.TotalReward, more.TotalReward, k)
+				seed, baseReward, more.TotalReward, k)
 		}
 
 		d, _ := propertySchedulers(inst, epsilon)
-		dBase := d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r)
+		dBaseReward := d.Schedule(inst.now, inst.queries, inst.cap, inst.exec, r).TotalReward
 		dMore := d.Schedule(inst.now, inst.queries, grown, inst.exec, r)
-		if dMore.TotalReward < (1-epsilon)*dBase.TotalReward-1e-9 {
+		if dMore.TotalReward < (1-epsilon)*dBaseReward-1e-9 {
 			t.Fatalf("seed %d: dp reward dropped %v -> %v (beyond quantization) after adding a replica to model %d",
-				seed, dBase.TotalReward, dMore.TotalReward, k)
+				seed, dBaseReward, dMore.TotalReward, k)
 		}
 	}
 }

@@ -247,10 +247,14 @@ func (t DecisionTrace) Record() metrics.Record {
 // serving runtime's event loop; once full, each append overwrites (drops)
 // the oldest trace. Counters are exact regardless of drops.
 type Ring struct {
-	mu      sync.Mutex
-	buf     []DecisionTrace
-	next    int // write position once the buffer is full
-	total   uint64
+	mu sync.Mutex
+	//schemble:guardedby mu trace buffer
+	buf []DecisionTrace
+	//schemble:guardedby mu write cursor
+	next int // write position once the buffer is full
+	//schemble:guardedby mu append counter
+	total uint64
+	//schemble:guardedby mu drop counter
 	dropped uint64
 }
 

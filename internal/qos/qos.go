@@ -179,6 +179,9 @@ type Controller struct {
 	mu  sync.Mutex
 	tun Tuning
 
+	// classes' per-class token buckets and shed counters mutate under mu;
+	// the cls/rank/rate/floor configuration is written once in New.
+	//schemble:guardedby mu token buckets and counters mutate under mu
 	classes []classState
 	byName  map[string]int
 	// defaultIdx is the class unnamed/unknown requests map to: the
@@ -186,16 +189,16 @@ type Controller struct {
 	// tier).
 	defaultIdx int
 
-	load     float64
-	seen     bool
-	lastObs  time.Duration
-	slack    float64
-	ladder   int
+	load     float64       //schemble:guardedby mu smoothed load estimate
+	seen     bool          //schemble:guardedby mu first-observation latch
+	lastObs  time.Duration //schemble:guardedby mu estimator clock
+	slack    float64       //schemble:guardedby mu latest deadline-slack sample
+	ladder   int           //schemble:guardedby mu degradation rung
 	maxRung  int
-	sinceLad time.Duration
+	sinceLad time.Duration //schemble:guardedby mu ladder dwell clock
 
-	lastRefill time.Duration
-	pool       float64
+	lastRefill time.Duration //schemble:guardedby mu bucket refill clock
+	pool       float64       //schemble:guardedby mu shared borrow pool
 	poolCap    float64
 }
 
@@ -237,6 +240,7 @@ func New(cfg Config) *Controller {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
+		//schemble:guardedby-ok comparator runs inline inside New before the controller is published
 		pa, pb := c.classes[idx[a]].cls.Priority, c.classes[idx[b]].cls.Priority
 		if pa != pb {
 			return pa < pb
@@ -281,14 +285,19 @@ func New(cfg Config) *Controller {
 }
 
 // Classes reports how many classes are configured (0 = classless).
+//
+//schemble:guardedby-ok the classes slice header and class config are immutable after New; only element counters mutate under mu
 func (c *Controller) Classes() int { return len(c.classes) }
 
 // Class returns class i's declaration.
+//
+//schemble:guardedby-ok cls is written once in New and never mutated; no lock needed for this immutable read
 func (c *Controller) Class(i int) Class { return c.classes[i].cls }
 
 // ClassIndex maps a class name to its index. Unknown or empty names map
 // to the lowest-priority class; a classless controller returns -1.
 func (c *Controller) ClassIndex(name string) int {
+	//schemble:guardedby-ok slice header is immutable after New; len is safe without the lock
 	if len(c.classes) == 0 {
 		return -1
 	}
@@ -299,6 +308,8 @@ func (c *Controller) ClassIndex(name string) int {
 }
 
 // Rank returns class i's priority rank (0 = lowest priority).
+//
+//schemble:guardedby-ok rank is written once in New and never mutated; no lock needed for this immutable read
 func (c *Controller) Rank(i int) int { return c.classes[i].rank }
 
 // Observe feeds the load estimator one measurement: backlog is the count

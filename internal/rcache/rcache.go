@@ -93,12 +93,16 @@ type entry struct {
 // Cache is the shared cache instance. Safe for concurrent use; all
 // ordering-relevant state advances only on Lookup/Fill calls.
 type Cache struct {
-	mu         sync.Mutex
-	cfg        Config
-	entries    map[int]*entry
+	mu  sync.Mutex
+	cfg Config
+	//schemble:guardedby mu live entry table
+	entries map[int]*entry
+	//schemble:guardedby mu LRU list links
 	head, tail *entry // LRU order; head is most recently used
 
-	hits, misses, bypasses  uint64
+	//schemble:guardedby mu lookup outcome counters
+	hits, misses, bypasses uint64
+	//schemble:guardedby mu store/eviction counters
 	fills, evicts, expiries uint64
 }
 
@@ -137,13 +141,13 @@ func (c *Cache) Lookup(now time.Duration, features []float64, score float64) (Va
 		return Value{}, key, obsv.CacheOutcomeMiss
 	}
 	if c.cfg.TTL > 0 && now-e.filledAt > c.cfg.TTL {
-		c.unlink(e)
+		c.unlinkLocked(e)
 		delete(c.entries, key)
 		c.expiries++
 		c.misses++
 		return Value{}, key, obsv.CacheOutcomeMiss
 	}
-	c.touch(e)
+	c.touchLocked(e)
 	c.hits++
 	return e.val, key, obsv.CacheOutcomeHit
 }
@@ -156,32 +160,32 @@ func (c *Cache) Fill(now time.Duration, key int, v Value) {
 	defer c.mu.Unlock()
 	if e := c.entries[key]; e != nil {
 		e.val, e.filledAt = v, now
-		c.touch(e)
+		c.touchLocked(e)
 		c.fills++
 		return
 	}
 	if len(c.entries) >= c.cfg.Capacity {
 		lru := c.tail
-		c.unlink(lru)
+		c.unlinkLocked(lru)
 		delete(c.entries, lru.key)
 		c.evicts++
 	}
 	e := &entry{key: key, val: v, filledAt: now}
 	c.entries[key] = e
-	c.pushFront(e)
+	c.pushFrontLocked(e)
 	c.fills++
 }
 
-// touch moves e to the front of the LRU list.
-func (c *Cache) touch(e *entry) {
+// touchLocked moves e to the front of the LRU list. Callers hold c.mu.
+func (c *Cache) touchLocked(e *entry) {
 	if c.head == e {
 		return
 	}
-	c.unlink(e)
-	c.pushFront(e)
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
 }
 
-func (c *Cache) pushFront(e *entry) {
+func (c *Cache) pushFrontLocked(e *entry) {
 	e.prev, e.next = nil, c.head
 	if c.head != nil {
 		c.head.prev = e
@@ -192,7 +196,7 @@ func (c *Cache) pushFront(e *entry) {
 	}
 }
 
-func (c *Cache) unlink(e *entry) {
+func (c *Cache) unlinkLocked(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {

@@ -194,14 +194,20 @@ type request struct {
 	cacheable bool
 	cacheKey  int
 
-	mu        sync.Mutex
-	state     reqState
-	outs      []model.Output
+	mu sync.Mutex
+	//schemble:guardedby mu lifecycle state machine
+	state reqState
+	//schemble:guardedby mu per-model output slots
+	outs []model.Output
+	//schemble:guardedby mu outstanding task count
 	remaining int
 	// ok is the mask of models whose task succeeded; failed counts tasks
 	// that failed permanently (retries exhausted, crash, timeout, panic).
-	ok     ensemble.Subset
+	//schemble:guardedby mu success mask
+	ok ensemble.Subset
+	//schemble:guardedby mu permanent-failure count
 	failed int
+	//schemble:guardedby mu committed subset
 	subset ensemble.Subset
 	done   chan Result
 
@@ -286,16 +292,22 @@ type Server struct {
 	// breakerMu guards the per-model circuit breakers, which the
 	// coordinator mutates and Stats snapshots.
 	breakerMu sync.Mutex
-	breakers  []breakerState
+	//schemble:guardedby breakerMu per-model circuit breakers
+	breakers []breakerState
 
 	// lifeMu guards the lifecycle fields so Submit racing Start, Drain or
 	// Stop observes a consistent (ctx, draining) pair.
-	lifeMu   sync.Mutex
-	ctx      context.Context
-	cancel   context.CancelFunc
+	lifeMu sync.Mutex
+	//schemble:guardedby lifeMu lifecycle context
+	ctx context.Context
+	//schemble:guardedby lifeMu lifecycle cancel hook
+	cancel context.CancelFunc
+	//schemble:guardedby lifeMu drain latch
 	draining bool
-	start    time.Time
+	//schemble:guardedby lifeMu serving epoch start
+	start time.Time
 
+	//schemble:guardedby srcMu deterministic RNG is not itself concurrency-safe
 	src   *rng.Source
 	srcMu sync.Mutex
 
@@ -1173,7 +1185,7 @@ func (s *Server) coordinate(ctx context.Context) {
 
 	now := func() time.Duration {
 		//schemble:wallclock converts a wall instant to virtual time against the Start anchor
-		return time.Duration(float64(time.Since(s.start)) / s.scale)
+		return time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before this goroutine launches; reads are ordered by goroutine creation
 	}
 	syncGauges := func() {
 		s.nBuffered.Store(int64(len(buffer)))
@@ -1246,8 +1258,10 @@ func (s *Server) coordinate(ctx context.Context) {
 			for pi, bi := range idx {
 				r := buffer[bi]
 				infos[pi] = core.QueryInfo{
-					ID:       pi,
-					Arrival:  time.Duration(float64(r.arrived.Sub(s.start)) / s.scale),
+					ID: pi,
+					//schemble:guardedby-ok start is written once in Start before the coordinator launches; reads are ordered by goroutine creation
+					Arrival: time.Duration(float64(r.arrived.Sub(s.start)) / s.scale),
+					//schemble:guardedby-ok start is written once in Start before the coordinator launches; reads are ordered by goroutine creation
 					Deadline: time.Duration(float64(r.deadline.Sub(s.start)) / s.scale),
 					Score:    r.score,
 				}
@@ -1599,7 +1613,7 @@ func (s *Server) resolve(r *request, res Result) {
 		// lock.
 		t := r.tr
 		//schemble:wallclock converts the resolution instant to virtual time against the Start anchor
-		t.Resolved = time.Duration(float64(time.Since(s.start)) / s.scale)
+		t.Resolved = time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the coordinator launches; reads are ordered by goroutine creation
 		t.Latency = t.Resolved - t.Queued
 		t.Retries = int(r.obsRetries.Load())
 		t.Hedges = int(r.obsHedges.Load())
@@ -1625,7 +1639,7 @@ func (s *Server) resolve(r *request, res Result) {
 		// Clean full-quality resolve of a cacheable miss: fill the entry
 		// so the next query in this centroid region hits.
 		//schemble:wallclock converts the resolution instant to virtual time against the Start anchor
-		vnow := time.Duration(float64(time.Since(s.start)) / s.scale)
+		vnow := time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the coordinator launches; reads are ordered by goroutine creation
 		s.cache.Fill(vnow, r.cacheKey, rcache.Value{Output: res.Output, Subset: res.Subset})
 	}
 	switch {
