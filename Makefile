@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet build test test-race chaos obsv bench bench-json overload cache fuzz cover
+.PHONY: check lint vet build test test-race chaos obsv bench bench-json overload cache drift fuzz cover
 
 check: vet build test-race
 
@@ -89,6 +89,18 @@ CACHE_FLAGS ?=
 cache:
 	$(GO) run ./cmd/schemble-cache -out BENCH_cache.json $(CACHE_FLAGS)
 
+# drift runs cmd/schemble-drift — the drifting-workload soak (latency ramp
+# plus difficulty shift over the identical seeded trace), frozen profiles
+# vs online adaptation — and writes the BENCH_drift.json
+# drift-resilience file. The run itself gates on adaptation strictly
+# beating the frozen reference's deadline-miss rate; CI runs it as
+#   make drift DRIFT_FLAGS="-quick -baseline BENCH_drift.json"
+# which additionally fails on an adapt-on DMR regression against the
+# committed baseline (read before the file is rewritten).
+DRIFT_FLAGS ?=
+drift:
+	$(GO) run ./cmd/schemble-drift -out BENCH_drift.json $(DRIFT_FLAGS)
+
 # Short coverage-guided fuzzing bursts over the scheduler and the HTTP
 # surface, seeded from testdata/fuzz. FUZZTIME=5m for a deeper local run;
 # new crashers land in testdata/fuzz/<target> and become regression
@@ -97,17 +109,30 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzDPSchedule' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz 'FuzzHTTPPredict' -fuzztime $(FUZZTIME) ./internal/httpserve/
+	$(GO) test -run '^$$' -fuzz 'FuzzSketch' -fuzztime $(FUZZTIME) ./internal/adapt/
 
 # Coverage gate on the paper-critical packages: the scheduler (the paper's
-# contribution) and the serving runtime (where concurrency bugs hide).
-# Thresholds are floors, not targets — raise them as coverage grows.
+# contribution), the serving runtime (where concurrency bugs hide), and
+# the engine-agnostic control subsystems shared by sim and serve (qos
+# admission, result cache, online adaptation). Thresholds are floors, not
+# targets — raise them as coverage grows.
 COVER_CORE_MIN ?= 90
 COVER_SERVE_MIN ?= 85
+COVER_QOS_MIN ?= 85
+COVER_RCACHE_MIN ?= 85
+COVER_ADAPT_MIN ?= 85
 cover:
 	$(GO) test -race -coverprofile=cover-core.out ./internal/core/
 	$(GO) test -race -coverprofile=cover-serve.out ./internal/serve/
+	$(GO) test -race -coverprofile=cover-qos.out ./internal/qos/
+	$(GO) test -race -coverprofile=cover-rcache.out ./internal/rcache/
+	$(GO) test -race -coverprofile=cover-adapt.out ./internal/adapt/
 	@core=$$($(GO) tool cover -func=cover-core.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
 	serve=$$($(GO) tool cover -func=cover-serve.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
-	echo "coverage: internal/core $$core% (floor $(COVER_CORE_MIN)%), internal/serve $$serve% (floor $(COVER_SERVE_MIN)%)"; \
-	awk -v c="$$core" -v s="$$serve" -v cm="$(COVER_CORE_MIN)" -v sm="$(COVER_SERVE_MIN)" \
-		'BEGIN { if (c+0 < cm+0 || s+0 < sm+0) { print "coverage below floor"; exit 1 } }'
+	qos=$$($(GO) tool cover -func=cover-qos.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
+	rcache=$$($(GO) tool cover -func=cover-rcache.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
+	adapt=$$($(GO) tool cover -func=cover-adapt.out | awk '/^total:/ {print substr($$3, 1, length($$3)-1)}'); \
+	echo "coverage: internal/core $$core% (floor $(COVER_CORE_MIN)%), internal/serve $$serve% (floor $(COVER_SERVE_MIN)%), internal/qos $$qos% (floor $(COVER_QOS_MIN)%), internal/rcache $$rcache% (floor $(COVER_RCACHE_MIN)%), internal/adapt $$adapt% (floor $(COVER_ADAPT_MIN)%)"; \
+	awk -v c="$$core" -v s="$$serve" -v q="$$qos" -v r="$$rcache" -v a="$$adapt" \
+		-v cm="$(COVER_CORE_MIN)" -v sm="$(COVER_SERVE_MIN)" -v qm="$(COVER_QOS_MIN)" -v rm="$(COVER_RCACHE_MIN)" -v am="$(COVER_ADAPT_MIN)" \
+		'BEGIN { if (c+0 < cm+0 || s+0 < sm+0 || q+0 < qm+0 || r+0 < rm+0 || a+0 < am+0) { print "coverage below floor"; exit 1 } }'

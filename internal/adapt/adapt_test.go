@@ -1,0 +1,278 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"schemble/internal/model"
+)
+
+// valueScorer is a stub OutcomeScorer that reads the observed score the
+// test encoded into the first model output's Value field.
+type valueScorer struct{}
+
+func (valueScorer) Score(outs []model.Output, _ model.Output) float64 { return outs[0].Value }
+
+func TestNewDisabledIsNil(t *testing.T) {
+	if e := New(Config{}, []time.Duration{time.Millisecond}, []time.Duration{time.Millisecond}, nil); e != nil {
+		t.Fatalf("New with zero config = %v, want nil", e)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+}
+
+func TestInflationColdThenTracks(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond}
+	e := New(Config{Enable: true, MinSamples: 8, CostQuantile: 0.9}, profiled, profiled, nil)
+	if got := e.Inflation(0); got != 1 {
+		t.Fatalf("cold inflation = %v, want exactly 1", got)
+	}
+	// Below MinSamples the factor must stay pinned at 1 even though the
+	// observations are far from profiled.
+	now := time.Duration(0)
+	for i := 0; i < 7; i++ {
+		now += time.Millisecond
+		e.ObserveLatency(now, 0, 0, 30*time.Millisecond)
+	}
+	if got := e.Inflation(0); got != 1 {
+		t.Fatalf("inflation below MinSamples = %v, want exactly 1", got)
+	}
+	now += time.Millisecond
+	e.ObserveLatency(now, 0, 0, 30*time.Millisecond)
+	got := e.Inflation(0)
+	if got < 2.0 || got > 4.0 {
+		t.Fatalf("inflation after 8x 3x-profiled observations = %v, want near 3 (within sketch error)", got)
+	}
+	// Out-of-range model indices degrade to the neutral factor.
+	if e.Inflation(-1) != 1 || e.Inflation(5) != 1 {
+		t.Fatal("out-of-range model index did not report inflation 1")
+	}
+}
+
+func TestInflationClamped(t *testing.T) {
+	profiled := []time.Duration{time.Millisecond}
+	e := New(Config{Enable: true, MinSamples: 1, MaxInflation: 2, MinInflation: 0.5}, profiled, profiled, nil)
+	e.ObserveLatency(time.Millisecond, 0, 0, 100*time.Millisecond)
+	if got := e.Inflation(0); got != 2 {
+		t.Fatalf("inflation = %v, want clamped to MaxInflation 2", got)
+	}
+	e2 := New(Config{Enable: true, MinSamples: 1, MaxInflation: 2, MinInflation: 0.5},
+		[]time.Duration{time.Second}, []time.Duration{time.Second}, nil)
+	e2.ObserveLatency(time.Millisecond, 0, 0, time.Millisecond)
+	if got := e2.Inflation(0); got != 0.5 {
+		t.Fatalf("inflation = %v, want clamped to MinInflation 0.5", got)
+	}
+}
+
+func TestExecIntoScalesBase(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	base := []time.Duration{11 * time.Millisecond, 22 * time.Millisecond}
+	e := New(Config{Enable: true, MinSamples: 4}, profiled, base, nil)
+	exec := make([]time.Duration, 2)
+	e.ExecInto(exec)
+	if exec[0] != base[0] || exec[1] != base[1] {
+		t.Fatalf("cold ExecInto = %v, want base %v unchanged", exec, base)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 16; i++ {
+		now += time.Millisecond
+		e.ObserveLatency(now, 1, 0, 60*time.Millisecond) // 3x profiled on model 1
+	}
+	e.ExecInto(exec)
+	if exec[0] != base[0] {
+		t.Fatalf("exec[0] = %v, want untouched base %v (model 0 never observed)", exec[0], base[0])
+	}
+	want := time.Duration(float64(base[1]) * e.Inflation(1))
+	if exec[1] != want {
+		t.Fatalf("exec[1] = %v, want base*inflation = %v", exec[1], want)
+	}
+	if exec[1] <= base[1] {
+		t.Fatalf("exec[1] = %v did not inflate above base %v", exec[1], base[1])
+	}
+}
+
+// feedWindows pushes enough spaced observations through model k to close
+// cnt detector windows at the given latency.
+func feedWindows(e *Engine, now *time.Duration, k int, lat time.Duration, cnt int) {
+	for w := 0; w < cnt; w++ {
+		for i := 0; i < 10; i++ {
+			*now += 15 * time.Millisecond
+			e.ObserveLatency(*now, k, 0, lat)
+		}
+	}
+}
+
+func TestLatencyDriftEnterAndExit(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond}
+	e := New(Config{
+		Enable: true, DriftWindow: 100 * time.Millisecond,
+		DriftMinCount: 4, DriftPatience: 2, MinSamples: 1,
+	}, profiled, profiled, nil)
+	now := time.Duration(0)
+	feedWindows(e, &now, 0, 10*time.Millisecond, 4)
+	if len(e.ActiveDrift()) != 0 {
+		t.Fatal("drift active before any shift")
+	}
+	// Sustained 2x latency: patience 2 means the first out-of-band window
+	// must not flip, the second must.
+	feedWindows(e, &now, 0, 20*time.Millisecond, 6)
+	got := e.ActiveDrift()
+	if len(got) != 1 || got[0] != "latency:0" {
+		t.Fatalf("ActiveDrift = %v, want [latency:0]", got)
+	}
+	snap := e.Snapshot()
+	if snap.LatencyEvents != 1 {
+		t.Fatalf("LatencyEvents = %d, want 1 (enter only)", snap.LatencyEvents)
+	}
+	if len(snap.Events) != 1 || !snap.Events[0].Enter || snap.Events[0].Kind != DriftLatency || snap.Events[0].Model != 0 {
+		t.Fatalf("Events = %+v, want one latency enter event for model 0", snap.Events)
+	}
+	if snap.Events[0].Value < 1.5 {
+		t.Fatalf("enter event ratio = %v, want near 2", snap.Events[0].Value)
+	}
+	if !snap.Models[0].Drift {
+		t.Fatal("snapshot does not mark model 0 drifted")
+	}
+	// Recovery back to profiled: the exit transition is an event too.
+	feedWindows(e, &now, 0, 10*time.Millisecond, 6)
+	if len(e.ActiveDrift()) != 0 {
+		t.Fatal("drift still active after recovery")
+	}
+	snap = e.Snapshot()
+	if snap.LatencyEvents != 2 {
+		t.Fatalf("LatencyEvents = %d, want 2 (enter + exit)", snap.LatencyEvents)
+	}
+	last := snap.Events[len(snap.Events)-1]
+	if last.Enter {
+		t.Fatalf("last event = %+v, want an exit transition", last)
+	}
+}
+
+func TestScoreDriftSelfCalibratedBaseline(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond}
+	e := New(Config{
+		Enable: true, DriftWindow: 100 * time.Millisecond,
+		DriftMinCount: 4, DriftPatience: 2,
+	}, profiled, profiled, nil)
+	now := time.Duration(0)
+	feed := func(score float64, windows int) {
+		for w := 0; w < windows; w++ {
+			for i := 0; i < 10; i++ {
+				now += 15 * time.Millisecond
+				e.ObserveScore(now, score)
+			}
+		}
+	}
+	feed(0.3, 4) // first closed window self-calibrates the baseline
+	snap := e.Snapshot()
+	if snap.BaselineScore != 0.3 {
+		t.Fatalf("self-calibrated baseline = %v, want 0.3", snap.BaselineScore)
+	}
+	if snap.ScoreEvents != 0 || snap.ScoreDrift {
+		t.Fatal("score drift flagged under a stationary mix")
+	}
+	feed(0.7, 6) // mean shifts by 0.4 >> default band 0.15
+	snap = e.Snapshot()
+	if !snap.ScoreDrift {
+		t.Fatal("score drift not flagged after the mix shifted")
+	}
+	if snap.ScoreEvents != 1 {
+		t.Fatalf("ScoreEvents = %d, want 1", snap.ScoreEvents)
+	}
+	got := e.ActiveDrift()
+	if len(got) != 1 || got[0] != DriftScore {
+		t.Fatalf("ActiveDrift = %v, want [score]", got)
+	}
+}
+
+func TestObserveOutcomeRecalibrates(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond}
+	e := New(Config{
+		Enable: true, Scorer: valueScorer{},
+		RecalEpoch: time.Second, RecalMinPairs: 16, RecalBins: 8,
+	}, profiled, profiled, nil)
+	if got := e.Calibrate(0.42); got != 0.42 {
+		t.Fatalf("Calibrate before any refit = %v, want identity", got)
+	}
+	// The predictor under-scores by half: raw = obs/2. After a refit the
+	// calibration map must lift raw scores back toward the observed ones.
+	now := time.Duration(0)
+	outs := []model.Output{{}}
+	for i := 0; i < 64; i++ {
+		now += 20 * time.Millisecond
+		raw := float64(i%10) / 10
+		obs := 2 * raw
+		if obs > 1 {
+			obs = 1
+		}
+		outs[0].Value = obs
+		e.ObserveOutcome(now, raw, outs, model.Output{})
+	}
+	snap := e.Snapshot()
+	if snap.RecalEpochs == 0 || snap.RecalSwaps == 0 || !snap.RecalActive {
+		t.Fatalf("no refit landed: epochs=%d swaps=%d active=%v",
+			snap.RecalEpochs, snap.RecalSwaps, snap.RecalActive)
+	}
+	if snap.RecalPairs != 64 {
+		t.Fatalf("RecalPairs = %d, want 64", snap.RecalPairs)
+	}
+	lifted := e.Calibrate(0.3)
+	if lifted <= 0.35 {
+		t.Fatalf("Calibrate(0.3) = %v after refit, want lifted toward observed 0.6", lifted)
+	}
+	// Nil scorer: outcomes must be ignored entirely.
+	e2 := New(Config{Enable: true}, profiled, profiled, nil)
+	e2.ObserveOutcome(10*time.Second, 0.5, outs, model.Output{})
+	if snap := e2.Snapshot(); snap.RecalEpochs != 0 || snap.RecalPairs != 0 {
+		t.Fatal("outcome observed despite nil Scorer")
+	}
+}
+
+func TestSnapshotReplicaBreakdown(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond}
+	e := New(Config{Enable: true}, profiled, profiled, []int{1, 3})
+	e.ObserveLatency(time.Millisecond, 1, 0, 10*time.Millisecond)
+	e.ObserveLatency(2*time.Millisecond, 1, 2, 10*time.Millisecond)
+	e.ObserveLatency(3*time.Millisecond, 1, 2, 10*time.Millisecond)
+	snap := e.Snapshot()
+	if snap.Models[0].ReplicaSamples != nil {
+		t.Fatal("single-replica model exported a replica breakdown")
+	}
+	got := snap.Models[1].ReplicaSamples
+	if len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("ReplicaSamples = %v, want [1 0 2]", got)
+	}
+	if snap.Models[1].Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", snap.Models[1].Samples)
+	}
+}
+
+// TestObservationPathsZeroAlloc pins the engine's hot-path allocation
+// contract: every per-task observation and every planning-side query is
+// allocation-free (refits at epoch boundaries are exempt and excluded).
+func TestObservationPathsZeroAlloc(t *testing.T) {
+	profiled := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	e := New(Config{Enable: true, MinSamples: 1, Scorer: valueScorer{},
+		RecalEpoch: time.Hour}, profiled, profiled, []int{2, 2})
+	exec := make([]time.Duration, 2)
+	outs := []model.Output{{Value: 0.5}}
+	now := time.Duration(0)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ObserveLatency", func() { now += time.Millisecond; e.ObserveLatency(now, 0, 1, 12*time.Millisecond) }},
+		{"ObserveScore", func() { now += time.Millisecond; e.ObserveScore(now, 0.4) }},
+		{"ObserveOutcome", func() { e.ObserveOutcome(time.Millisecond, 0.4, outs, model.Output{}) }},
+		{"Calibrate", func() { _ = e.Calibrate(0.4) }},
+		{"Inflation", func() { _ = e.Inflation(0) }},
+		{"ExecInto", func() { e.ExecInto(exec) }},
+		{"ActiveDriftQuiet", func() { _ = e.ActiveDrift() }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+			t.Errorf("%s allocates %.1f/op, want 0", tc.name, n)
+		}
+	}
+}

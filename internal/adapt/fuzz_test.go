@@ -1,0 +1,87 @@
+package adapt
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzSketch drives the quantile sketch with arbitrary byte-derived
+// duration streams (including negative, zero, and out-of-range values)
+// and asserts its structural invariants: count bookkeeping, quantile
+// monotonicity in q, quantile-in-range for any non-empty sketch, and
+// exact merge algebra against an incrementally built twin. The seed
+// corpus under testdata/fuzz pins the boundary shapes (empty, underflow,
+// overflow, bucket edges, mixed signs); `make fuzz` extends it with a
+// short randomized burst.
+func FuzzSketch(f *testing.F) {
+	seed := func(vals ...int64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add(seed(0))
+	f.Add(seed(-1, 1))
+	f.Add(seed(int64(time.Millisecond), int64(time.Second), int64(time.Minute)))
+	f.Add(seed(sketchMinNS-1, sketchMinNS, sketchMinNS+1))
+	f.Add(seed(1<<62, -1<<62, 49_999, 50_000))
+	f.Add(seed(100_000, 122_000, 148_840, 181_584))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s, a, b Sketch
+		var n uint64
+		for i := 0; i+8 <= len(data) && i < 8*4096; i += 8 {
+			d := time.Duration(binary.LittleEndian.Uint64(data[i:]))
+			s.Insert(d)
+			// Split the identical stream across two sketches to merge back.
+			if n%2 == 0 {
+				a.Insert(d)
+			} else {
+				b.Insert(d)
+			}
+			n++
+		}
+		if s.Count() != n {
+			t.Fatalf("Count() = %d after %d inserts", s.Count(), n)
+		}
+		if n == 0 {
+			if got := s.Quantile(0.5); got != 0 {
+				t.Fatalf("empty Quantile = %v, want 0", got)
+			}
+			if got := s.Mean(); got != 0 {
+				t.Fatalf("empty Mean = %v, want 0", got)
+			}
+			return
+		}
+		// Quantile must be monotone in q (including out-of-range q, which
+		// clamps) and always within the sketch's representable range.
+		maxHi, _ := bucketBounds(sketchSlots - 1)
+		prev := time.Duration(-1)
+		for _, q := range []float64{-1, 0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1, 2} {
+			got := s.Quantile(q)
+			if got < prev {
+				t.Fatalf("Quantile(%v) = %v < previous %v: not monotone", q, got, prev)
+			}
+			prev = got
+			if got < 0 || float64(got) > maxHi {
+				t.Fatalf("Quantile(%v) = %v outside representable range [0, %v]", q, got, time.Duration(maxHi))
+			}
+		}
+		// Merging the split streams reconstructs the reference exactly, in
+		// either order.
+		ab, ba := a, b
+		ab.Merge(&b)
+		ba.Merge(&a)
+		if ab != s || ba != s {
+			t.Fatal("merge of split streams does not reconstruct the reference sketch")
+		}
+		// Reset returns to the zero value.
+		ab.Reset()
+		if ab != (Sketch{}) {
+			t.Fatal("Reset did not zero the sketch")
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package adapt
+
+import (
+	"math"
+	"time"
+)
+
+// pair is one recalibration observation: the predictor's raw difficulty
+// score for a sample and the true discrepancy score computed from the
+// full ensemble's outputs once the sample was served by every model.
+type pair struct {
+	raw, obs float64
+}
+
+// recal incrementally recalibrates the discrepancy predictor from
+// served outcomes. Pairs accumulate in a bounded ring reservoir (ring,
+// not random-replacement, so the package needs no RNG and the refit is
+// a deterministic function of the completion stream — the property the
+// recalibration-determinism test pins). At virtual-time epoch
+// boundaries the reservoir is refit into a monotone piecewise-linear
+// map raw -> expected observed score, and the new map replaces the
+// active one atomically under the engine mutex — but only when it
+// differs from the active map by more than the hysteresis threshold, so
+// back-to-back refits over near-identical data cannot flap the
+// scheduler's score inputs. A genuine reversal of drift still swaps
+// back: the guard compares maps, not directions.
+type recal struct {
+	pairs  []pair
+	head   int
+	filled int
+
+	// binSum/binCnt are scratch for refit, allocated once.
+	binSum []float64
+	binCnt []int
+
+	// knotX/knotY is the active calibration map (nil until the first
+	// accepted refit); nextY is the double-buffered candidate so a refit
+	// that loses to hysteresis allocates nothing.
+	knotX []float64
+	knotY []float64
+	nextY []float64
+
+	// nextEpoch is the next virtual-time refit boundary.
+	nextEpoch time.Duration
+	// epochs counts refits attempted, swaps refits accepted past the
+	// hysteresis guard.
+	epochs uint64
+	swaps  uint64
+}
+
+// add appends one pair to the ring reservoir, dropping the oldest when
+// full. Never allocates.
+func (r *recal) add(p pair) {
+	if len(r.pairs) == 0 {
+		return
+	}
+	r.pairs[r.head] = p
+	r.head = (r.head + 1) % len(r.pairs)
+	if r.filled < len(r.pairs) {
+		r.filled++
+	}
+}
+
+// refit rebuilds the candidate calibration map from the reservoir and
+// swaps it in when it clears the hysteresis threshold. minPairs gates
+// refits on sample support; hyst is the mean absolute knot delta below
+// which the active map is kept. Returns true when the candidate was
+// swapped in.
+func (r *recal) refit(minPairs int, hyst float64) bool {
+	r.epochs++
+	if r.filled < minPairs {
+		return false
+	}
+	bins := len(r.binSum)
+	for i := 0; i < bins; i++ {
+		r.binSum[i] = 0
+		r.binCnt[i] = 0
+	}
+	// Bin pairs by raw score over [0,1] in reservoir order (oldest
+	// first): float accumulation order is fixed, so the same completion
+	// stream yields a byte-identical map.
+	start := (r.head - r.filled + len(r.pairs)) % len(r.pairs)
+	for i := 0; i < r.filled; i++ {
+		p := r.pairs[(start+i)%len(r.pairs)]
+		b := int(p.raw * float64(bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		r.binSum[b] += p.obs
+		r.binCnt[b]++
+	}
+	// Per-bin means; empty bins inherit the nearest populated neighbor
+	// below (or the first populated bin's mean at the low end) so the
+	// map is total over [0,1].
+	first := -1
+	for i := 0; i < bins; i++ {
+		if r.binCnt[i] > 0 {
+			r.nextY[i] = r.binSum[i] / float64(r.binCnt[i])
+			if first < 0 {
+				first = i
+			}
+		} else if i > 0 {
+			r.nextY[i] = r.nextY[i-1]
+		} else {
+			r.nextY[i] = 0
+		}
+	}
+	if first < 0 {
+		return false
+	}
+	for i := 0; i < first; i++ {
+		r.nextY[i] = r.nextY[first]
+	}
+	// Pool adjacent violators: calibration must be monotone
+	// non-decreasing or the scheduler's difficulty ordering would invert
+	// between neighboring scores. Weights are bin counts (empty bins
+	// carry weight 0 and just follow their pool).
+	pav(r.nextY, r.binCnt)
+	// Hysteresis: keep the active map unless the candidate moved enough
+	// to matter. The first refit always swaps (there is nothing active).
+	if r.knotY != nil {
+		var delta float64
+		for i := range r.nextY {
+			delta += math.Abs(r.nextY[i] - r.knotY[i])
+		}
+		if delta/float64(bins) <= hyst {
+			return false
+		}
+	} else {
+		r.knotY = make([]float64, bins)
+	}
+	r.knotY, r.nextY = r.nextY, r.knotY
+	r.swaps++
+	return true
+}
+
+// pav enforces monotone non-decreasing y by pooling adjacent violators,
+// weighting each knot by its bin count (minimum 1 so fill-forward knots
+// still participate). In place, no allocation beyond the fixed scratch
+// the caller owns.
+func pav(y []float64, cnt []int) {
+	n := len(y)
+	// poolEnd[i] marks the end of the pool starting at i; walk left to
+	// right merging any pool whose mean undercuts its predecessor's.
+	for i := 1; i < n; i++ {
+		if y[i] >= y[i-1] {
+			continue
+		}
+		// Merge backwards until monotone. Track (weighted mean, weight)
+		// of the merged pool and splat it over the covered range.
+		lo := i - 1
+		w := float64(weight(cnt, i))
+		mean := y[i]
+		for {
+			wl := float64(weight(cnt, lo))
+			mean = (mean*w + y[lo]*wl) / (w + wl)
+			w += wl
+			if lo == 0 || y[lo-1] <= mean {
+				break
+			}
+			lo--
+		}
+		for j := lo; j <= i; j++ {
+			y[j] = mean
+		}
+	}
+}
+
+// weight is a bin's PAV weight: its sample count, floored at 1.
+func weight(cnt []int, i int) int {
+	if cnt[i] > 0 {
+		return cnt[i]
+	}
+	return 1
+}
+
+// calibrate applies the active map to a raw score: piecewise-linear
+// interpolation between bin-center knots, clamped to the end knots
+// outside [first, last]. Identity until a refit has been accepted.
+// Never allocates.
+func (r *recal) calibrate(raw float64) float64 {
+	if r.knotY == nil {
+		return raw
+	}
+	bins := len(r.knotY)
+	// Knot i sits at the center of bin i: x_i = (i + 0.5) / bins.
+	pos := raw*float64(bins) - 0.5
+	if pos <= 0 {
+		return r.knotY[0]
+	}
+	if pos >= float64(bins-1) {
+		return r.knotY[bins-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	return r.knotY[i] + (r.knotY[i+1]-r.knotY[i])*frac
+}

@@ -35,6 +35,7 @@ var criticalPkgs = map[string]bool{
 	"schemble/internal/qos":         true,
 	"schemble/internal/rcache":      true,
 	"schemble/internal/trace":       true,
+	"schemble/internal/adapt":       true,
 }
 
 // Analyzer is the detrand analyzer.

@@ -29,6 +29,7 @@ var Packages = map[string]bool{
 	"schemble/internal/qos":     true,
 	"schemble/internal/rcache":  true,
 	"schemble/internal/cluster": true,
+	"schemble/internal/adapt":   true,
 }
 
 // Analyzer is the enginepure analyzer.

@@ -132,6 +132,10 @@ type RuntimeStats struct {
 	// Cache carries the result-cache counters; omitted when no cache is
 	// configured.
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Adapt carries the online-adaptation snapshot (live latency
+	// profiles, drift state, recalibration counters); omitted when
+	// adaptation is off.
+	Adapt *AdaptStats `json:"adapt,omitempty"`
 }
 
 // CacheStats mirrors rcache.Snapshot for the JSON API.
@@ -145,6 +149,36 @@ type CacheStats struct {
 	Evictions   uint64  `json:"evictions"`
 	Expirations uint64  `json:"expirations"`
 	HitRate     float64 `json:"hit_rate"`
+}
+
+// AdaptStats mirrors adapt.Snapshot for the JSON API. Durations are
+// microseconds, matching the trace wire convention.
+type AdaptStats struct {
+	Models        []AdaptModelStats `json:"models"`
+	ScoreDrift    bool              `json:"score_drift"`
+	BaselineScore float64           `json:"baseline_score"`
+	LatencyEvents uint64            `json:"latency_events"`
+	ScoreEvents   uint64            `json:"score_events"`
+	RecalEpochs   uint64            `json:"recal_epochs"`
+	RecalSwaps    uint64            `json:"recal_swaps"`
+	RecalPairs    int               `json:"recal_pairs"`
+	RecalActive   bool              `json:"recal_active"`
+}
+
+// AdaptModelStats is one model's live latency profile: observed quantiles
+// against the frozen profiling mean, the inflation factor the scheduler's
+// cost vector and the hedging threshold consume, and whether the drift
+// detector currently flags the model.
+type AdaptModelStats struct {
+	Name           string  `json:"name"`
+	Samples        uint64  `json:"samples"`
+	MeanUS         int64   `json:"mean_us"`
+	P50US          int64   `json:"p50_us"`
+	P90US          int64   `json:"p90_us"`
+	P99US          int64   `json:"p99_us"`
+	ProfiledMeanUS int64   `json:"profiled_mean_us"`
+	Inflation      float64 `json:"inflation"`
+	Drift          bool    `json:"drift"`
 }
 
 // ClassStats mirrors serve.ClassStats for the JSON API.
@@ -415,6 +449,7 @@ func (h *Handler) handleStats(w http.ResponseWriter) {
 		LadderState: rt.LadderState,
 		Classes:     classStats(rt),
 		Cache:       cacheStats(rt),
+		Adapt:       adaptStats(rt),
 	}
 	writeJSON(w, out)
 }
@@ -437,6 +472,44 @@ func cacheStats(rt serve.Stats) *CacheStats {
 		Expirations: c.Expirations,
 		HitRate:     c.HitRate,
 	}
+}
+
+// adaptStats converts the runtime's adaptation snapshot to the JSON
+// shape; nil when adaptation is off.
+func adaptStats(rt serve.Stats) *AdaptStats {
+	a := rt.Adapt
+	if a == nil {
+		return nil
+	}
+	out := &AdaptStats{
+		Models:        make([]AdaptModelStats, len(a.Models)),
+		ScoreDrift:    a.ScoreDrift,
+		BaselineScore: a.BaselineScore,
+		LatencyEvents: a.LatencyEvents,
+		ScoreEvents:   a.ScoreEvents,
+		RecalEpochs:   a.RecalEpochs,
+		RecalSwaps:    a.RecalSwaps,
+		RecalPairs:    a.RecalPairs,
+		RecalActive:   a.RecalActive,
+	}
+	for k, m := range a.Models {
+		name := ""
+		if k < len(rt.Models) {
+			name = rt.Models[k].Name
+		}
+		out.Models[k] = AdaptModelStats{
+			Name:           name,
+			Samples:        m.Samples,
+			MeanUS:         m.Mean.Microseconds(),
+			P50US:          m.P50.Microseconds(),
+			P90US:          m.P90.Microseconds(),
+			P99US:          m.P99.Microseconds(),
+			ProfiledMeanUS: m.ProfiledMean.Microseconds(),
+			Inflation:      m.Inflation,
+			Drift:          m.Drift,
+		}
+	}
+	return out
 }
 
 // classStats converts the runtime's per-class snapshot to the JSON shape.

@@ -87,6 +87,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter) {
 	writeHeader(&b, "schemble_ladder_state", "gauge", "Degradation-ladder rung (0 = full service).")
 	fmt.Fprintf(&b, "schemble_ladder_state %d\n", rt.Ladder)
 	writeCacheMetrics(&b, rt)
+	writeAdaptMetrics(&b, rt)
 	writeClassMetrics(&b, rt)
 	writeModelMetrics(&b, rt)
 	writeObserverMetrics(&b, h.srv.Observer())
@@ -139,6 +140,54 @@ func writeCacheMetrics(b *strings.Builder, rt serve.Stats) {
 	fmt.Fprintf(b, "schemble_cache_entries %d\n", c.Entries)
 	writeHeader(b, "schemble_cache_hit_rate", "gauge", "Hits over hits+misses (bypasses excluded).")
 	fmt.Fprintf(b, "schemble_cache_hit_rate %g\n", c.HitRate)
+}
+
+// writeAdaptMetrics renders the online-adaptation layer's state: live
+// latency quantiles and inflation factors per model, drift detector
+// signals, and recalibration counters. Deployments with adaptation off
+// render nothing.
+func writeAdaptMetrics(b *strings.Builder, rt serve.Stats) {
+	a := rt.Adapt
+	if a == nil {
+		return
+	}
+	name := func(k int) string {
+		if k < len(rt.Models) {
+			return rt.Models[k].Name
+		}
+		return strconv.Itoa(k)
+	}
+	writeHeader(b, "schemble_adapt_samples_total", "counter", "Latency observations ingested into the live profile, by model.")
+	for k := range a.Models {
+		fmt.Fprintf(b, "schemble_adapt_samples_total{model=%q} %d\n", name(k), a.Models[k].Samples)
+	}
+	writeHeader(b, "schemble_adapt_inflation", "gauge", "Live cost-inflation factor (observed quantile over profiled mean) the scheduler plans with, by model.")
+	for k := range a.Models {
+		fmt.Fprintf(b, "schemble_adapt_inflation{model=%q} %g\n", name(k), a.Models[k].Inflation)
+	}
+	writeHeader(b, "schemble_adapt_latency_seconds", "gauge", "Live latency profile quantiles (virtual time), by model.")
+	for k := range a.Models {
+		m := a.Models[k]
+		fmt.Fprintf(b, "schemble_adapt_latency_seconds{model=%q,quantile=\"0.5\"} %s\n", name(k), formatSeconds(m.P50.Seconds()))
+		fmt.Fprintf(b, "schemble_adapt_latency_seconds{model=%q,quantile=\"0.9\"} %s\n", name(k), formatSeconds(m.P90.Seconds()))
+		fmt.Fprintf(b, "schemble_adapt_latency_seconds{model=%q,quantile=\"0.99\"} %s\n", name(k), formatSeconds(m.P99.Seconds()))
+	}
+	writeHeader(b, "schemble_drift_active", "gauge", "1 while the drift detector flags the signal (per-model latency, global score).")
+	for k := range a.Models {
+		fmt.Fprintf(b, "schemble_drift_active{signal=\"latency\",model=%q} %d\n", name(k), boolGauge(a.Models[k].Drift))
+	}
+	fmt.Fprintf(b, "schemble_drift_active{signal=\"score\"} %d\n", boolGauge(a.ScoreDrift))
+	writeHeader(b, "schemble_drift_events_total", "counter", "Drift transitions (enter or clear) observed, by signal.")
+	fmt.Fprintf(b, "schemble_drift_events_total{signal=\"latency\"} %d\n", a.LatencyEvents)
+	fmt.Fprintf(b, "schemble_drift_events_total{signal=\"score\"} %d\n", a.ScoreEvents)
+	writeHeader(b, "schemble_adapt_recal_epochs_total", "counter", "Recalibration refits attempted.")
+	fmt.Fprintf(b, "schemble_adapt_recal_epochs_total %d\n", a.RecalEpochs)
+	writeHeader(b, "schemble_adapt_recal_swaps_total", "counter", "Recalibration refits accepted past the hysteresis guard.")
+	fmt.Fprintf(b, "schemble_adapt_recal_swaps_total %d\n", a.RecalSwaps)
+	writeHeader(b, "schemble_adapt_recal_pairs", "gauge", "Outcome pairs in the recalibration reservoir.")
+	fmt.Fprintf(b, "schemble_adapt_recal_pairs %d\n", a.RecalPairs)
+	writeHeader(b, "schemble_adapt_recal_active", "gauge", "1 while a non-identity calibration map is live.")
+	fmt.Fprintf(b, "schemble_adapt_recal_active %d\n", boolGauge(a.RecalActive))
 }
 
 // writeClassMetrics renders per-class admission/outcome metrics; classless

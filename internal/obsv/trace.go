@@ -86,6 +86,11 @@ type DecisionTrace struct {
 	// capacity signal the scheduler's feasibility checks keyed on.
 	BusyUntil []time.Duration
 	Blocked   []int // models masked by open breakers / crash windows
+	// Drift lists the adaptation layer's active drift signals at commit
+	// time ("latency:<k>" per drifting model, "score" for difficulty
+	// drift); nil when adaptation is off or no drift is active,
+	// preserving the pre-adaptation trace wire format verbatim.
+	Drift []string
 
 	// Mitigation events observed while in flight.
 	Retries  int
@@ -124,6 +129,7 @@ type traceJSON struct {
 	Forming      []int         `json:"forming,omitempty"`
 	BusyUntilUS  []int64       `json:"busy_until_us,omitempty"`
 	Blocked      []int         `json:"blocked,omitempty"`
+	Drift        []string      `json:"drift,omitempty"`
 	Retries      int           `json:"retries,omitempty"`
 	Hedges       int           `json:"hedges,omitempty"`
 	Timeouts     int           `json:"timeouts,omitempty"`
@@ -152,6 +158,7 @@ func (t DecisionTrace) MarshalJSON() ([]byte, error) {
 		QueueDepths:  t.QueueDepths,
 		Forming:      t.Forming,
 		Blocked:      t.Blocked,
+		Drift:        t.Drift,
 		Retries:      t.Retries,
 		Hedges:       t.Hedges,
 		Timeouts:     t.Timeouts,
@@ -192,6 +199,7 @@ func (t *DecisionTrace) UnmarshalJSON(data []byte) error {
 		QueueDepths:  w.QueueDepths,
 		Forming:      w.Forming,
 		Blocked:      w.Blocked,
+		Drift:        w.Drift,
 		Retries:      w.Retries,
 		Hedges:       w.Hedges,
 		Timeouts:     w.Timeouts,

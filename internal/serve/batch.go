@@ -123,7 +123,7 @@ func (s *Server) runBatch(ctx context.Context, m model.Model, inj *model.Faulty,
 	if n := len(live); n > 0 {
 		rc := &s.rstats[k][r]
 		rc.busy.Store(int32(n))
-		ok, alive := s.executeBatch(ctx, m, inj, k, live)
+		vlat, ok, alive := s.executeBatch(ctx, m, inj, k, live)
 		rc.busy.Store(0)
 		if !alive {
 			return false
@@ -131,6 +131,13 @@ func (s *Server) runBatch(ctx context.Context, m model.Model, inj *model.Faulty,
 		s.batchHist[k][n-1].Add(1)
 		s.mstats[k].executed.Add(uint64(n))
 		rc.executed.Add(uint64(n))
+		if ok && s.adapt != nil {
+			//schemble:wallclock observation is timestamped at completion in virtual time against the Start anchor
+			vnow := time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the workers launch; reads are ordered by goroutine creation
+			for range live {
+				s.adapt.ObserveLatency(vnow, k, r, vlat)
+			}
+		}
 		for i, t := range live {
 			out := model.Output{}
 			tok := false
@@ -188,7 +195,7 @@ func (s *Server) runBatch(ctx context.Context, m model.Model, inj *model.Faulty,
 // double the fleet's work for one straggler. ok reports whether the
 // kernel ran to completion; alive is false when the runtime context was
 // cancelled mid-attempt.
-func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Faulty, k int, live []*task) (ok, alive bool) {
+func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Faulty, k int, live []*task) (vlat time.Duration, ok, alive bool) {
 	c := &s.mstats[k]
 	n := len(live)
 	curve := s.cfg.Batching.curve(k)
@@ -210,6 +217,11 @@ func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Fau
 		s.srcMu.Lock()
 		lat := m.SampleLatency(s.src)
 		s.srcMu.Unlock()
+		if s.cfg.Drift != nil {
+			//schemble:wallclock the drift schedule is evaluated at the batch's virtual start time
+			vnow := time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the workers launch; reads are ordered by goroutine creation
+			lat = time.Duration(float64(lat) * s.cfg.Drift(k, vnow))
+		}
 		lat = curve.Latency(lat, n)
 		dec := model.Decision{Kind: model.FaultNone, LatencyFactor: 1}
 		if inj != nil {
@@ -224,7 +236,7 @@ func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Fau
 			}
 			retry, alive := s.backoffUntil(ctx, deadline, attempt)
 			if !alive {
-				return false, false
+				return 0, false, false
 			}
 			if retry {
 				c.retries.Add(1)
@@ -235,7 +247,7 @@ func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Fau
 				}
 				continue
 			}
-			return false, true
+			return 0, false, true
 		}
 		if dec.Kind == model.FaultStraggler {
 			c.stragglers.Add(1)
@@ -256,7 +268,7 @@ func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Fau
 			if until <= 0 {
 				stop()
 				obsTimeout()
-				return false, true
+				return 0, false, true
 			}
 			if until < d {
 				cutoff = time.NewTimer(until)
@@ -266,16 +278,18 @@ func (s *Server) executeBatch(ctx context.Context, m model.Model, inj *model.Fau
 		select {
 		case <-ctx.Done():
 			stop()
-			return false, false
+			return 0, false, false
 		case <-primary.C:
 			stop()
-			return true, true
+			// The batch's virtual service time: each member task observes
+			// the full batch duration (mirrors sim's per-task events).
+			return time.Duration(float64(lat) * dec.LatencyFactor), true, true
 		case <-cutoffC:
 			// Every live deadline has passed mid-batch: abandon the kernel
 			// instead of occupying the replica past usefulness.
 			stop()
 			obsTimeout()
-			return false, true
+			return 0, false, true
 		}
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"schemble/internal/adapt"
 	"schemble/internal/core"
 	"schemble/internal/dataset"
 	"schemble/internal/discrepancy"
@@ -55,6 +56,7 @@ import (
 	"schemble/internal/qos"
 	"schemble/internal/rcache"
 	"schemble/internal/rng"
+	"schemble/internal/trace"
 )
 
 // ErrNotStarted is returned by Drain when Start was never called.
@@ -131,6 +133,21 @@ type Config struct {
 	// disables caching and keeps every request on the pre-cache code
 	// paths bit-identically.
 	Cache rcache.Config
+
+	// Adapt opts into the online-adaptation layer (internal/adapt): live
+	// per-model/per-replica latency quantile sketches feed the
+	// scheduler's cost vector and the hedging threshold instead of the
+	// frozen profiling numbers, a windowed detector emits drift events,
+	// and the discrepancy predictor is incrementally recalibrated from
+	// served outcomes. The zero value disables adaptation and keeps
+	// every request on the frozen-profile code paths bit-identically.
+	Adapt adapt.Config
+
+	// Drift injects a deterministic service-time drift schedule
+	// (test/soak infrastructure, like Faults): each attempt's drawn
+	// latency is multiplied by Drift(model, virtualNow). nil means no
+	// drift.
+	Drift trace.LatencyDrift
 }
 
 // Result is the outcome of one request.
@@ -179,6 +196,10 @@ type request struct {
 	arrived  time.Time
 	deadline time.Time
 	score    float64
+	// rawScore is the predictor's uncalibrated score (equal to score
+	// when adaptation is off); the recalibration reservoir pairs it with
+	// the observed discrepancy on clean full-ensemble resolves.
+	rawScore float64
 
 	// class is the request's class index (-1 when the runtime is
 	// classless); level is the degradation-ladder service level the
@@ -332,6 +353,12 @@ type Server struct {
 	// value (caching off).
 	cache *rcache.Cache
 
+	// adapt is the online-adaptation engine, nil when Config.Adapt is
+	// the zero value (adaptation off); baseExec is the frozen planning
+	// cost vector the coordinator copies its working exec slice from.
+	adapt    *adapt.Engine
+	baseExec []time.Duration
+
 	// Health counters behind the Stats snapshot. buffered/inflight mirror
 	// the coordinator's private structures.
 	nSubmitted atomic.Uint64
@@ -443,6 +470,11 @@ type Stats struct {
 	// Cache is the result cache's counter snapshot; nil when caching is
 	// off.
 	Cache *rcache.Snapshot
+
+	// Adapt is the online-adaptation engine's snapshot (live quantiles,
+	// inflation factors, drift events, recalibration counters); nil when
+	// adaptation is off.
+	Adapt *adapt.Snapshot
 }
 
 // Healthy reports whether every model is schedulable: no breaker open and
@@ -516,6 +548,24 @@ func New(cfg Config) *Server {
 	for range cfg.Ensemble.Models {
 		s.taskCh = append(s.taskCh, make(chan *task, cfg.QueueDepth))
 	}
+	// Frozen planning cost vector: mean latency with 10% headroom so
+	// latency jitter does not turn feasible-looking plans into deadline
+	// misses. With batching on, a task's capacity cost is the amortized
+	// per-item share of a full batch, so the scheduler sees the
+	// throughput gain. The coordinator copies its working exec slice
+	// from this; with adaptation on, adapt.ExecInto rescales it by the
+	// live inflation factor each planning pass.
+	profiled := make([]time.Duration, m)
+	s.baseExec = make([]time.Duration, m)
+	for k, md := range cfg.Ensemble.Models {
+		profiled[k] = md.MeanLatency()
+		e := time.Duration(float64(md.MeanLatency()) * 1.1)
+		if maxBatch > 1 {
+			e = cfg.Batching.curve(k).Amortized(e, maxBatch)
+		}
+		s.baseExec[k] = e
+	}
+	s.adapt = adapt.New(cfg.Adapt, profiled, s.baseExec, s.replicas)
 	for k, md := range cfg.Ensemble.Models {
 		fc := cfg.Faults
 		if k < len(cfg.FaultsPerModel) {
@@ -679,6 +729,9 @@ func (s *Server) Stats() Stats {
 		cs := s.cache.Snapshot()
 		st.Cache = &cs
 	}
+	if s.adapt != nil {
+		st.Adapt = s.adapt.Snapshot()
+	}
 	for k, ch := range s.taskCh {
 		st.QueueDepth[k] = len(ch)
 		st.Forming[k] = int(s.forming[k].Load())
@@ -834,6 +887,13 @@ func (s *Server) SubmitClass(sample *dataset.Sample, deadline time.Duration, cla
 	if s.cfg.Estimator != nil {
 		req.score = s.cfg.Estimator.Predict(sample)
 	}
+	req.rawScore = req.score
+	if s.adapt != nil {
+		//schemble:wallclock converts a wall instant to virtual time against the Start anchor
+		vnow := time.Duration(float64(time.Since(s.start)) / s.scale)
+		s.adapt.ObserveScore(vnow, req.rawScore)
+		req.score = s.adapt.Calibrate(req.rawScore)
+	}
 	req.advance(stateScored)
 	if req.tr != nil {
 		req.tr.Score = req.score
@@ -947,7 +1007,7 @@ func (s *Server) runTask(ctx context.Context, m model.Model, inj *model.Faulty, 
 		ran = true
 		rc := &s.rstats[k][r]
 		rc.busy.Store(1)
-		out, ok, alive := s.execute(ctx, m, inj, k, t.req)
+		out, vlat, ok, alive := s.execute(ctx, m, inj, k, t.req)
 		rc.busy.Store(0)
 		if !alive {
 			return false
@@ -958,6 +1018,10 @@ func (s *Server) runTask(ctx context.Context, m model.Model, inj *model.Faulty, 
 			s.mstats[k].failures.Add(1)
 			rc.failures.Add(1)
 			failed = true
+		} else if s.adapt != nil {
+			//schemble:wallclock observation is timestamped at completion in virtual time against the Start anchor
+			vnow := time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the workers launch; reads are ordered by goroutine creation
+			s.adapt.ObserveLatency(vnow, k, r, vlat)
 		}
 		t.req.mu.Lock()
 		if t.req.state != stateResolved {
@@ -986,13 +1050,19 @@ func (s *Server) runTask(ctx context.Context, m model.Model, inj *model.Faulty, 
 // attempts with jittered exponential backoff while the budget lasts. ok
 // reports whether an output was produced; alive is false when the runtime
 // context was cancelled mid-attempt (the worker must exit silently, as
-// before).
-func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, k int, r *request) (out model.Output, ok, alive bool) {
+// before). vlat is the winning attempt's virtual service time — the
+// sample the adaptation layer's latency sketches ingest.
+func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, k int, r *request) (out model.Output, vlat time.Duration, ok, alive bool) {
 	c := &s.mstats[k]
 	for attempt := 0; ; attempt++ {
 		s.srcMu.Lock()
 		lat := m.SampleLatency(s.src)
 		s.srcMu.Unlock()
+		if s.cfg.Drift != nil {
+			//schemble:wallclock the drift schedule is evaluated at the attempt's virtual start time
+			vnow := time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the workers launch; reads are ordered by goroutine creation
+			lat = time.Duration(float64(lat) * s.cfg.Drift(k, vnow))
+		}
 		dec := model.Decision{Kind: model.FaultNone, LatencyFactor: 1}
 		if inj != nil {
 			//schemble:wallclock fault injection decides transient/crash windows in wall time, matching model.Faulty's schedule
@@ -1006,7 +1076,7 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			}
 			retry, alive := s.backoff(ctx, r, attempt)
 			if !alive {
-				return out, false, false
+				return out, 0, false, false
 			}
 			if retry {
 				c.retries.Add(1)
@@ -1015,12 +1085,16 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 				}
 				continue
 			}
-			return out, false, true
+			return out, 0, false, true
 		}
 		d := time.Duration(float64(lat) * dec.LatencyFactor * s.scale)
+		// The winning attempt's virtual service time: the primary's
+		// (possibly straggling) draw unless the hedge wins below.
+		vlat = time.Duration(float64(lat) * dec.LatencyFactor)
 		primary := time.NewTimer(d)
 		var hedge, cutoff *time.Timer
 		var hedgeC, cutoffC <-chan time.Time
+		var hlat time.Duration
 		if dec.Kind == model.FaultStraggler {
 			c.stragglers.Add(1)
 			if s.tol.HedgeFactor > 0 {
@@ -1029,9 +1103,21 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 				// straggler and the first to finish wins. Outputs are
 				// deterministic, so the winner only decides latency.
 				s.srcMu.Lock()
-				hlat := m.SampleLatency(s.src)
+				hlat = m.SampleLatency(s.src)
 				s.srcMu.Unlock()
-				hd := time.Duration((s.tol.HedgeFactor*float64(m.MeanLatency()) + float64(hlat)) * s.scale)
+				if s.cfg.Drift != nil {
+					//schemble:wallclock the drift schedule is evaluated at the attempt's virtual start time
+					vnow := time.Duration(float64(time.Since(s.start)) / s.scale) //schemble:guardedby-ok start is written once in Start before the workers launch; reads are ordered by goroutine creation
+					hlat = time.Duration(float64(hlat) * s.cfg.Drift(k, vnow))
+				}
+				// The hedging threshold consumes the live inflation factor:
+				// under drift the frozen mean would fire hedges on every
+				// (now-normal) slow attempt.
+				mean := float64(m.MeanLatency())
+				if s.adapt != nil {
+					mean *= s.adapt.Inflation(k)
+				}
+				hd := time.Duration((s.tol.HedgeFactor*mean + float64(hlat)) * s.scale)
 				if hd < d {
 					hedge = time.NewTimer(hd)
 					hedgeC = hedge.C
@@ -1060,7 +1146,7 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 				if s.obs != nil {
 					r.obsTimeouts.Add(1)
 				}
-				return out, false, true
+				return out, 0, false, true
 			}
 			if until < d {
 				cutoff = time.NewTimer(until)
@@ -1070,11 +1156,14 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 		select {
 		case <-ctx.Done():
 			stop()
-			return out, false, false
+			return out, 0, false, false
 		case <-primary.C:
 			stop()
 		case <-hedgeC:
 			c.hedgeWins.Add(1)
+			// The fresh attempt won the race: its own draw is the
+			// observed service time, not the straggler's.
+			vlat = hlat
 			stop()
 		case <-cutoffC:
 			// The deadline arrived mid-attempt: abandon it instead of
@@ -1084,16 +1173,16 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			if s.obs != nil {
 				r.obsTimeouts.Add(1)
 			}
-			return out, false, true
+			return out, 0, false, true
 		}
 		if out, ok = s.safePredict(m, k, r.sample); ok {
-			return out, true, true
+			return out, vlat, true, true
 		}
 		// Predict panicked: contained by safePredict; treat like a
 		// transient fault.
 		retry, alive := s.backoff(ctx, r, attempt)
 		if !alive {
-			return out, false, false
+			return out, 0, false, false
 		}
 		if retry {
 			c.retries.Add(1)
@@ -1102,7 +1191,7 @@ func (s *Server) execute(ctx context.Context, m model.Model, inj *model.Faulty, 
 			}
 			continue
 		}
-		return out, false, true
+		return out, 0, false, true
 	}
 }
 
@@ -1157,17 +1246,7 @@ func (s *Server) coordinate(ctx context.Context) {
 	var buffer []*request
 	m := s.cfg.Ensemble.M()
 	exec := make([]time.Duration, m)
-	for k, md := range s.cfg.Ensemble.Models {
-		// Plan with 10% headroom so latency jitter does not turn
-		// feasible-looking plans into deadline misses. With batching on,
-		// a task's capacity cost is the amortized per-item share of a
-		// full batch, so the scheduler sees the throughput gain.
-		e := time.Duration(float64(md.MeanLatency()) * 1.1)
-		if s.maxBatch > 1 {
-			e = s.cfg.Batching.curve(k).Amortized(e, s.maxBatch)
-		}
-		exec[k] = e
-	}
+	copy(exec, s.baseExec)
 	// busyUntil[k][r] approximates, in unscaled virtual time since start,
 	// when replica r of model k drains the work committed to it;
 	// pending[k] counts dispatched-but-unfinished tasks so completions can
@@ -1222,6 +1301,11 @@ func (s *Server) coordinate(ctx context.Context) {
 			backlog += len(s.taskCh[k]) + int(s.forming[k].Load())
 		}
 		s.qosCtl.Observe(t, backlog, lastSlack)
+		if s.adapt != nil {
+			// Refresh the planning cost vector from the live quantile
+			// sketches so the whole pass sees one consistent cost view.
+			s.adapt.ExecInto(exec)
+		}
 		if len(buffer) == 0 {
 			syncGauges()
 			return
@@ -1351,6 +1435,9 @@ func (s *Server) coordinate(ctx context.Context) {
 					}
 					r.tr.BusyUntil = bu
 					r.tr.Blocked = blocked.Models()
+					if s.adapt != nil {
+						r.tr.Drift = s.adapt.ActiveDrift()
+					}
 				}
 				r.mu.Unlock()
 				removed[r] = true
@@ -1514,6 +1601,13 @@ func (s *Server) coordinate(ctx context.Context) {
 						out := s.cfg.Ensemble.Predict(outs, okMask)
 						//schemble:wallclock lateness is judged against the wall-clock deadline set at Submit
 						late := time.Now().After(r.deadline)
+						if s.adapt != nil && !late && nfailed == 0 &&
+							lvl == qos.LevelFull && okMask == ensemble.Full(m) {
+							// Clean full-ensemble resolve: pair the raw score
+							// with the observed discrepancy for the
+							// recalibration reservoir (mirrors sim).
+							s.adapt.ObserveOutcome(now(), r.rawScore, outs, out)
+						}
 						s.resolve(r, Result{
 							Output: out,
 							Subset: okMask,

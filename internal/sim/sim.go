@@ -26,6 +26,7 @@ import (
 	"container/heap"
 	"time"
 
+	"schemble/internal/adapt"
 	"schemble/internal/core"
 	"schemble/internal/dataset"
 	"schemble/internal/discrepancy"
@@ -121,6 +122,20 @@ type Config struct {
 	// disables caching. Cached mode requires buffered mode.
 	Cache rcache.Config
 
+	// Adapt mirrors serve.Config.Adapt: the online-adaptation layer
+	// (internal/adapt) — live latency quantile profiles feeding the
+	// scheduler's cost vector, drift detection, and incremental
+	// recalibration of the discrepancy predictor. The zero value
+	// disables adaptation and keeps runs bit-identical. Requires
+	// buffered mode.
+	Adapt adapt.Config
+
+	// Drift injects a deterministic service-time drift schedule
+	// (test/soak infrastructure, like fault injection in serve): each
+	// task's drawn latency is multiplied by Drift(model, now) at start.
+	// nil means no drift.
+	Drift trace.LatencyDrift
+
 	Seed uint64
 }
 
@@ -143,6 +158,9 @@ type event struct {
 	arrIdx int
 	q      *query
 	server int
+	// dur is the task's effective (drifted, batched) service time, fed
+	// to the adaptation layer when the task completes.
+	dur time.Duration
 }
 
 type eventHeap []*event
@@ -170,6 +188,10 @@ type query struct {
 	arrival  time.Duration
 	deadline time.Duration
 	score    float64
+	// rawScore is the predictor's uncalibrated score (equal to score
+	// when adaptation is off); the recalibration reservoir pairs it with
+	// the observed discrepancy.
+	rawScore float64
 	// class is the query's class index (-1 classless); level is the
 	// ladder service level it was committed at.
 	class int
@@ -194,6 +216,8 @@ type task struct {
 
 type server struct {
 	typeIdx int
+	// replica is this server's index within its model type's pool.
+	replica int
 	// busyUntil is when the in-flight task (if any) finishes.
 	busyUntil time.Duration
 	running   bool
@@ -235,6 +259,9 @@ type sim struct {
 
 	// cache is the result cache, nil when Config.Cache is the zero value.
 	cache *rcache.Cache
+	// adapt is the online-adaptation engine, nil when Config.Adapt is
+	// the zero value.
+	adapt *adapt.Engine
 }
 
 // Run simulates the trace against the configured pipeline and returns one
@@ -248,6 +275,14 @@ func Run(cfg Config, tr *trace.Trace, samples []*dataset.Sample) []metrics.Recor
 // caching is off) so soaks and tests can report hit rates without
 // re-deriving them from records.
 func RunStats(cfg Config, tr *trace.Trace, samples []*dataset.Sample) ([]metrics.Record, rcache.Snapshot) {
+	records, cacheSnap, _ := RunAdapt(cfg, tr, samples)
+	return records, cacheSnap
+}
+
+// RunAdapt is RunStats plus the online-adaptation engine's final
+// snapshot (nil when adaptation is off) so the drift soak can report
+// inflation factors, drift events and recalibration counters.
+func RunAdapt(cfg Config, tr *trace.Trace, samples []*dataset.Sample) ([]metrics.Record, rcache.Snapshot, *adapt.Snapshot) {
 	if (cfg.Select == nil) == (cfg.Scheduler == nil) {
 		panic("sim: exactly one of Select / Scheduler must be set")
 	}
@@ -259,6 +294,9 @@ func RunStats(cfg Config, tr *trace.Trace, samples []*dataset.Sample) ([]metrics
 	}
 	if cfg.Cache.Enabled() && cfg.Scheduler == nil {
 		panic("sim: Cache requires buffered mode")
+	}
+	if cfg.Adapt.Enabled() && cfg.Scheduler == nil {
+		panic("sim: Adapt requires buffered mode")
 	}
 	s := &sim{
 		cfg:     cfg,
@@ -287,13 +325,18 @@ func RunStats(cfg Config, tr *trace.Trace, samples []*dataset.Sample) ([]metrics
 	}
 	s.byType = make([][]int, m)
 	s.exec = make([]time.Duration, m)
+	profiled := make([]time.Duration, m)
 	for j := 0; j < m; j++ {
-		s.exec[j] = time.Duration(float64(cfg.Ensemble.Models[j].MeanLatency()) * (1 + margin))
+		profiled[j] = cfg.Ensemble.Models[j].MeanLatency()
+		s.exec[j] = time.Duration(float64(profiled[j]) * (1 + margin))
 		for r := 0; r < replicas[j]; r++ {
 			s.byType[j] = append(s.byType[j], len(s.servers))
-			s.servers = append(s.servers, &server{typeIdx: j})
+			s.servers = append(s.servers, &server{typeIdx: j, replica: r})
 		}
 	}
+	// The engine copies profiled/exec, so later ExecInto refreshes of
+	// s.exec never corrupt the frozen baseline.
+	s.adapt = adapt.New(cfg.Adapt, profiled, s.exec, replicas)
 	adm := cfg.Admission
 	if adm.Capacity <= 0 {
 		// Mirror serve.bottleneckCapacity: the slowest pool's throughput.
@@ -327,7 +370,11 @@ func RunStats(cfg Config, tr *trace.Trace, samples []*dataset.Sample) ([]metrics
 	if s.cache != nil {
 		snap = s.cache.Snapshot()
 	}
-	return s.records, snap
+	var asnap *adapt.Snapshot
+	if s.adapt != nil {
+		asnap = s.adapt.Snapshot()
+	}
+	return s.records, snap, asnap
 }
 
 func (s *sim) push(e *event) {
@@ -357,6 +404,13 @@ func (s *sim) handle(e *event) {
 		s.buffer = append(s.buffer, e.q)
 		s.schedulePlan()
 	case evTaskDone:
+		if s.adapt != nil {
+			// Observe before resolving, mirroring serve: the worker
+			// records its latency before the coordinator processes the
+			// completion (and possibly refits at an epoch boundary).
+			sv := s.servers[e.server]
+			s.adapt.ObserveLatency(s.now, sv.typeIdx, sv.replica, e.dur)
+		}
 		s.finishTask(e.q)
 		s.onTaskDone(e.server)
 	case evDeadline:
@@ -423,6 +477,14 @@ func (s *sim) onArrival(arrIdx int) {
 	// predictor has scored it.
 	if s.cfg.Estimator != nil {
 		q.score = s.cfg.Estimator.Predict(q.sample)
+		q.rawScore = q.score
+		if s.adapt != nil {
+			// Feed the raw score to the drift detector, then plan (and
+			// gate the cache) on the recalibrated score — mirroring
+			// serve.SubmitClass exactly.
+			s.adapt.ObserveScore(s.now, q.rawScore)
+			q.score = s.adapt.Calibrate(q.rawScore)
+		}
 	}
 	if s.cache != nil {
 		v, key, outcome := s.cache.Lookup(s.now, q.sample.Features, q.score)
@@ -521,13 +583,16 @@ func (s *sim) maybeStart(si int) {
 	batch := sv.queue[:n]
 	sv.queue = sv.queue[n:]
 	dur := s.cfg.Ensemble.Models[sv.typeIdx].SampleLatency(s.src)
+	if s.cfg.Drift != nil {
+		dur = time.Duration(float64(dur) * s.cfg.Drift(sv.typeIdx, s.now))
+	}
 	dur = s.batch.Latency(dur, n)
 	sv.running = true
 	sv.busyUntil = s.now + dur
 	for _, t := range batch {
 		// The model's output is materialized when the batch completes.
 		t.q.outs[sv.typeIdx] = s.cfg.Ensemble.Models[sv.typeIdx].Predict(t.q.sample)
-		s.push(&event{at: sv.busyUntil, kind: evTaskDone, server: si, q: t.q})
+		s.push(&event{at: sv.busyUntil, kind: evTaskDone, server: si, q: t.q, dur: dur})
 	}
 }
 
@@ -565,6 +630,13 @@ func (s *sim) finishTask(q *query) {
 	rec.Degraded = q.level > qos.LevelFull
 	out := s.cfg.Ensemble.Predict(q.outs, q.subset)
 	rec.Agreement = s.cfg.Scorer.Score(out, s.cfg.Refs[q.sample.ID])
+	if s.adapt != nil && !late && !rec.Degraded &&
+		q.subset == ensemble.Full(s.cfg.Ensemble.M()) {
+		// Clean full-ensemble completion: the true discrepancy score is
+		// computable, so feed the recalibration reservoir — mirroring
+		// the serve coordinator's done branch.
+		s.adapt.ObserveOutcome(s.now, q.rawScore, q.outs, out)
+	}
 	if s.cache != nil && q.cacheable && !rec.Degraded {
 		// Clean full-quality completion of a cacheable miss: fill the
 		// entry, mirroring serve.resolve.
@@ -598,6 +670,12 @@ func (s *sim) planAndDispatch() {
 		}
 	}
 	s.qosCtl.Observe(s.now, backlog, s.lastSlack)
+	if s.adapt != nil {
+		// Refresh the live cost vector before planning: the scheduler,
+		// ladder truncation and backlog re-anchoring below all read
+		// s.exec, so the whole pass plans against one consistent view.
+		s.adapt.ExecInto(s.exec)
+	}
 	if len(s.buffer) == 0 {
 		return
 	}
